@@ -1,0 +1,204 @@
+(* Benchmark and reproduction harness.
+
+   Usage:
+     dune exec bench/main.exe                  # every experiment + timings
+     dune exec bench/main.exe -- fig2a fig3    # selected experiments only
+     dune exec bench/main.exe -- catalog       # just the Table-1 catalog
+     dune exec bench/main.exe -- --quick       # fast mode (fewer seeds)
+
+   For every table and figure of the paper's evaluation (see DESIGN.md
+   §4) this prints the regenerated series as a text table plus a CSV
+   block, then runs one bechamel micro-benchmark per experiment timing
+   the code that backs it. *)
+
+open Bechamel
+open Toolkit
+
+let line title =
+  Printf.printf "\n======== %s ========\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction                                             *)
+
+let catalog_table () =
+  Format.printf "%a@." Insp.Catalog.pp Insp.Catalog.dell_2008
+
+let run_experiment ~quick id =
+  line ("experiment " ^ id);
+  match id with
+  | "catalog" -> catalog_table ()
+  | _ -> (
+    match Insp.Suite.run_by_id ~quick id with
+    | Some output -> print_string output
+    | None -> Printf.printf "unknown experiment: %s\n" id)
+
+let summarize_rankings ~quick () =
+  line "ranking summary (lowest mean cost per x point)";
+  let figures =
+    if quick then
+      [ Insp.Suite.fig2a ~seeds:[ 1; 2 ] ~ns:[ 20; 60 ] () ]
+    else
+      [
+        Insp.Suite.fig2a ();
+        Insp.Suite.fig2b ();
+        Insp.Suite.fig3 ();
+        Insp.Suite.large_objects ();
+      ]
+  in
+  List.iter
+    (fun fig ->
+      let wins = Insp.Figure.winner_counts fig in
+      Printf.printf "%-6s: %s\n" fig.Insp.Figure.id
+        (String.concat ", "
+           (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) wins)))
+    figures
+
+let run_ablations ~quick () =
+  line "ablation studies (design choices, DESIGN.md)";
+  List.iter
+    (fun (id, render) ->
+      Printf.printf "\n-- %s --\n%!" id;
+      print_string (render ~quick))
+    Insp_experiments.Ablations.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment             *)
+
+let fixed_instance ?(n = 60) ?(alpha = 0.9) ?sizes ?freq () =
+  Insp.Instance.generate
+    (Insp.Config.make ~n_operators:n ~alpha ?sizes ?freq ~seed:1 ())
+
+let solve_suite inst () =
+  ignore
+    (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
+       inst.Insp.Instance.platform)
+
+let bench_tests () =
+  let fig2a_inst = fixed_instance () in
+  let fig2b_inst = fixed_instance ~alpha:1.7 () in
+  let fig3_inst = fixed_instance ~alpha:1.5 () in
+  let large_inst = fixed_instance ~n:30 ~sizes:Insp.Config.Large () in
+  let lowfreq_inst = fixed_instance ~freq:Insp.Config.Low () in
+  let rates_inst = Insp.Instance.with_frequency (fixed_instance ()) 0.1 in
+  let ilp_inst =
+    Insp.Instance.homogeneous (fixed_instance ~n:10 ()) ~cpu_index:4
+      ~nic_index:3
+  in
+  let sim_alloc =
+    let inst = fixed_instance ~n:30 () in
+    match
+      Insp.Solve.run ~seed:1
+        (Option.get (Insp.Solve.find "sbu"))
+        inst.Insp.Instance.app inst.Insp.Instance.platform
+    with
+    | Ok o -> (inst, o.Insp.Solve.alloc)
+    | Error f -> failwith (Insp.Solve.failure_message f)
+  in
+  [
+    Test.make ~name:"fig2a: heuristic suite, N=60 a=0.9"
+      (Staged.stage (solve_suite fig2a_inst));
+    Test.make ~name:"fig2b: heuristic suite, N=60 a=1.7"
+      (Staged.stage (solve_suite fig2b_inst));
+    Test.make ~name:"fig3: heuristic suite, N=60 a=1.5"
+      (Staged.stage (solve_suite fig3_inst));
+    Test.make ~name:"large: heuristic suite, N=30 large objects"
+      (Staged.stage (solve_suite large_inst));
+    Test.make ~name:"lowfreq: heuristic suite, N=60 f=1/50"
+      (Staged.stage (solve_suite lowfreq_inst));
+    Test.make ~name:"rates: heuristic suite, N=60 f=1/10"
+      (Staged.stage (solve_suite rates_inst));
+    Test.make ~name:"ilp: exact B&B, N=10 homogeneous"
+      (Staged.stage (fun () ->
+           ignore
+             (Insp.Exact.solve ~node_limit:200_000 ilp_inst.Insp.Instance.app
+                ilp_inst.Insp.Instance.platform)));
+    Test.make ~name:"sharing: CSE + DAG placement, 3 apps of N=20"
+      (Staged.stage (fun () ->
+           let apps, platform =
+             Insp.Multi_workload.instance ~seed:1 ~n_apps:3 ~n_operators:20
+           in
+           ignore (Insp.Dag_place.run (Insp.Cse.share_apps apps) platform)));
+    Test.make ~name:"rewrite: hill-climb over shapes, N=12"
+      (Staged.stage (fun () ->
+           let inst =
+             Insp.Instance.generate
+               (Insp.Config.make ~n_operators:12 ~alpha:1.4 ~seed:1 ())
+           in
+           let evaluate tree =
+             let app =
+               Insp.App.make ~base_work:8000.0 ~work_factor:0.19 ~tree
+                 ~objects:(Insp.App.objects inst.Insp.Instance.app)
+                 ~alpha:1.4 ()
+             in
+             match
+               Insp.Solve.run ~seed:1
+                 (Option.get (Insp.Solve.find "sbu"))
+                 app inst.Insp.Instance.platform
+             with
+             | Ok o -> Some o.Insp.Solve.cost
+             | Error _ -> None
+           in
+           ignore
+             (Insp.Rewrite.optimize (Insp.Prng.create 1) ~evaluate
+                (Insp.App.tree inst.Insp.Instance.app))));
+    Test.make ~name:"replication: heuristic suite, 2 copies"
+      (Staged.stage (fun () ->
+           let inst =
+             Insp.Instance.generate
+               (Insp.Config.make ~n_operators:40 ~min_copies:2 ~max_copies:2
+                  ~seed:1 ())
+           in
+           ignore
+             (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
+                inst.Insp.Instance.platform)));
+    Test.make ~name:"simcheck: DES run, N=30, 20 s horizon"
+      (Staged.stage (fun () ->
+           let inst, alloc = sim_alloc in
+           ignore
+             (Insp.Runtime.run ~horizon:20.0 ~warmup:5.0
+                inst.Insp.Instance.app inst.Insp.Instance.platform alloc)));
+    Test.make ~name:"catalog: cheapest_satisfying lookup"
+      (Staged.stage (fun () ->
+           ignore
+             (Insp.Catalog.cheapest_satisfying Insp.Catalog.dell_2008
+                ~speed:20000.0 ~bandwidth:400.0)));
+  ]
+
+let run_benchmarks () =
+  line "bechamel micro-benchmarks (one per experiment)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ time_per_run ] ->
+            Printf.printf "%-45s %12.1f us/run\n%!" name (time_per_run /. 1e3)
+          | Some _ | None -> Printf.printf "%-45s (no estimate)\n%!" name)
+        results)
+    (bench_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let ids = List.filter (fun a -> a <> "--quick") args in
+  let ids =
+    if ids = [] then Insp.Suite.all_ids @ [ "catalog" ] else ids
+  in
+  List.iter (run_experiment ~quick) ids;
+  if List.length ids > 1 then begin
+    summarize_rankings ~quick ();
+    run_ablations ~quick ()
+  end;
+  run_benchmarks ();
+  print_newline ()

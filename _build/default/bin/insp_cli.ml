@@ -1,0 +1,375 @@
+(* insp — command-line front end for the in-network stream processing
+   resource-allocation toolkit. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let n_operators =
+  let doc = "Number of operators in the random tree." in
+  Arg.(value & opt int 60 & info [ "n"; "operators" ] ~docv:"N" ~doc)
+
+let alpha =
+  let doc = "Computation factor alpha (w = base + factor*(dl+dr)^alpha)." in
+  Arg.(value & opt float 0.9 & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc)
+
+let seed =
+  let doc = "Random seed (instance and randomized heuristics)." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let sizes =
+  let doc = "Object size regime: $(b,small) (5-30 MB) or $(b,large) \
+             (450-530 MB)." in
+  let regime =
+    Arg.enum [ ("small", Insp.Config.Small); ("large", Insp.Config.Large) ]
+  in
+  Arg.(
+    value & opt regime Insp.Config.Small & info [ "sizes" ] ~docv:"REGIME" ~doc)
+
+let freq =
+  let doc = "Download frequency: $(b,high) (1/2s), $(b,low) (1/50s) or a \
+             float in 1/s." in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "high" -> Ok Insp.Config.High
+    | "low" -> Ok Insp.Config.Low
+    | other -> (
+      match float_of_string_opt other with
+      | Some f when f > 0.0 -> Ok (Insp.Config.Custom f)
+      | Some _ | None -> Error (`Msg "expected high, low or a positive float"))
+  in
+  let print ppf = function
+    | Insp.Config.High -> Format.pp_print_string ppf "high"
+    | Insp.Config.Low -> Format.pp_print_string ppf "low"
+    | Insp.Config.Custom f -> Format.fprintf ppf "%g" f
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Insp.Config.High
+    & info [ "freq" ] ~docv:"FREQ" ~doc)
+
+let heuristic_arg =
+  let doc =
+    "Heuristic: random, comp, comm, sbu, objgroup, objavail or $(b,all)."
+  in
+  Arg.(value & opt string "all" & info [ "H"; "heuristic" ] ~docv:"NAME" ~doc)
+
+let make_instance n alpha sizes freq seed =
+  Insp.Instance.generate
+    (Insp.Config.make ~n_operators:n ~alpha ~sizes ~freq ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let print_outcomes inst results verbose =
+  let table =
+    Insp.Table.create
+      [
+        ("heuristic", Insp.Table.Left);
+        ("cost ($)", Insp.Table.Right);
+        ("processors", Insp.Table.Right);
+        ("status", Insp.Table.Left);
+      ]
+  in
+  List.iter
+    (fun ((h : Insp.Solve.heuristic), r) ->
+      match r with
+      | Ok (o : Insp.Solve.outcome) ->
+        Insp.Table.add_row table
+          [
+            h.name;
+            Printf.sprintf "%.0f" o.cost;
+            string_of_int o.n_procs;
+            "feasible";
+          ]
+      | Error f ->
+        Insp.Table.add_row table
+          [ h.name; "-"; "-"; Insp.Solve.failure_message f ])
+    results;
+  Insp.Table.print table;
+  if verbose then
+    List.iter
+      (fun ((h : Insp.Solve.heuristic), r) ->
+        match r with
+        | Ok (o : Insp.Solve.outcome) ->
+          Format.printf "@.%s:@.%a@." h.name Insp.Alloc.pp o.alloc
+        | Error _ -> ())
+      results;
+  ignore inst
+
+let solve_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print allocations.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the operator tree as DOT.")
+  in
+  let run n alpha sizes freq seed heuristic verbose dot =
+    let inst = make_instance n alpha sizes freq seed in
+    Format.printf "%a@.@." Insp.Instance.pp inst;
+    (match dot with
+    | Some path ->
+      Insp.Dot.save (Insp.Dot.of_app inst.Insp.Instance.app) path;
+      Format.printf "wrote %s@." path
+    | None -> ());
+    let results =
+      if heuristic = "all" then
+        Insp.Solve.run_all ~seed inst.Insp.Instance.app
+          inst.Insp.Instance.platform
+      else
+        match Insp.Solve.find heuristic with
+        | None ->
+          prerr_endline ("unknown heuristic: " ^ heuristic);
+          exit 2
+        | Some h ->
+          [
+            ( h,
+              Insp.Solve.run ~seed h inst.Insp.Instance.app
+                inst.Insp.Instance.platform );
+          ]
+    in
+    print_outcomes inst results verbose
+  in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
+      $ verbose $ dot)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run placement heuristics on a random instance.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let horizon =
+    Arg.(
+      value & opt float 80.0
+      & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
+  in
+  let run n alpha sizes freq seed heuristic horizon =
+    let inst = make_instance n alpha sizes freq seed in
+    let key = if heuristic = "all" then "sbu" else heuristic in
+    match Insp.Solve.find key with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ key);
+      exit 2
+    | Some h -> (
+      match
+        Insp.Solve.run ~seed h inst.Insp.Instance.app
+          inst.Insp.Instance.platform
+      with
+      | Error f ->
+        prerr_endline (Insp.Solve.failure_message f);
+        exit 1
+      | Ok o ->
+        Format.printf "%s found %d processors for $%.0f@." h.name o.n_procs
+          o.cost;
+        let report = Insp.simulate ~horizon inst o.alloc in
+        Format.printf "%a@." Insp.Runtime.pp_report report;
+        Format.printf "sustains target: %b@."
+          (Insp.Runtime.sustains_target report))
+  in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
+      $ horizon)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Solve, then execute the mapping in the discrete-event runtime.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_cmd =
+  let experiment =
+    let doc =
+      "Experiment id: " ^ String.concat ", " Insp.Suite.all_ids ^ ", or all."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds and points.")
+  in
+  let run experiment quick =
+    let ids =
+      if experiment = "all" then Insp.Suite.all_ids else [ experiment ]
+    in
+    List.iter
+      (fun id ->
+        match Insp.Suite.run_by_id ~quick id with
+        | Some s ->
+          print_string s;
+          print_newline ()
+        | None ->
+          prerr_endline ("unknown experiment: " ^ id);
+          exit 2)
+      ids
+  in
+  let term = Term.(const run $ experiment $ quick) in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Reproduce a paper experiment (table/figure).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+
+let exact_cmd =
+  let cpu =
+    Arg.(
+      value & opt int 4
+      & info [ "cpu" ] ~docv:"IDX" ~doc:"Homogeneous CPU option (0-4).")
+  in
+  let nic =
+    Arg.(
+      value & opt int 3
+      & info [ "nic" ] ~docv:"IDX" ~doc:"Homogeneous NIC option (0-4).")
+  in
+  let run n alpha seed cpu nic =
+    let inst =
+      Insp.Instance.homogeneous
+        (make_instance n alpha Insp.Config.Small Insp.Config.High seed)
+        ~cpu_index:cpu ~nic_index:nic
+    in
+    (match
+       Insp.Exact.solve inst.Insp.Instance.app inst.Insp.Instance.platform
+     with
+    | Ok r ->
+      Format.printf
+        "exact optimum: %d processors, $%.0f (%s, %d nodes explored)@."
+        r.Insp.Exact.n_procs r.cost
+        (if r.proven then "proven" else "node limit hit")
+        r.nodes
+    | Error e -> Format.printf "exact: %s@." e);
+    List.iter
+      (fun ((h : Insp.Solve.heuristic), r) ->
+        match r with
+        | Ok (o : Insp.Solve.outcome) ->
+          Format.printf "%-20s %d processors, $%.0f@." h.name o.n_procs o.cost
+        | Error f ->
+          Format.printf "%-20s %s@." h.name (Insp.Solve.failure_message f))
+      (Insp.Solve.run_all ~seed inst.Insp.Instance.app
+         inst.Insp.Instance.platform)
+  in
+  let term = Term.(const run $ n_operators $ alpha $ seed $ cpu $ nic) in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Exact branch-and-bound optimum on a homogeneous platform, compared \
+          with the heuristics.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* multi                                                               *)
+
+let multi_cmd =
+  let n_apps =
+    Arg.(
+      value & opt int 3
+      & info [ "apps" ] ~docv:"Q" ~doc:"Number of concurrent applications.")
+  in
+  let run n seed n_apps =
+    let apps, platform =
+      Insp.Multi_workload.instance ~seed ~n_apps ~n_operators:n
+    in
+    Format.printf "%a@.@." Insp.Cse.pp_savings (Insp.Cse.savings apps);
+    let provision name dag =
+      match Insp.Dag_place.run dag platform with
+      | Ok o ->
+        Format.printf "%-12s $%-9.0f (%d processors)@." name o.cost o.n_procs
+      | Error f ->
+        Format.printf "%-12s %s@." name (Insp.Dag_place.failure_message f)
+    in
+    provision "no sharing" (Insp.Dag.of_apps apps);
+    provision "CSE sharing" (Insp.Cse.share_apps apps)
+  in
+  let term = Term.(const run $ n_operators $ seed $ n_apps) in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:
+         "Provision several concurrent applications, with and without \
+          common-subexpression sharing.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* rewrite                                                             *)
+
+let rewrite_cmd =
+  let restarts =
+    Arg.(
+      value & opt int 3
+      & info [ "restarts" ] ~docv:"R" ~doc:"Hill-climbing random restarts.")
+  in
+  let run n alpha seed restarts =
+    let inst =
+      Insp.Instance.generate (Insp.Config.make ~n_operators:n ~alpha ~seed ())
+    in
+    let platform = inst.Insp.Instance.platform in
+    let objects = Insp.App.objects inst.Insp.Instance.app in
+    let sbu = Option.get (Insp.Solve.find "sbu") in
+    let evaluate tree =
+      let app =
+        Insp.App.make ~base_work:8000.0 ~work_factor:0.19 ~tree ~objects
+          ~alpha ()
+      in
+      match Insp.Solve.run ~seed sbu app platform with
+      | Ok o -> Some o.Insp.Solve.cost
+      | Error _ -> None
+    in
+    let show name tree =
+      match evaluate tree with
+      | Some c ->
+        Format.printf "%-12s height %-3d $%.0f@." name
+          (Insp.Optree.height tree) c
+      | None ->
+        Format.printf "%-12s height %-3d infeasible@." name
+          (Insp.Optree.height tree)
+    in
+    let original = Insp.App.tree inst.Insp.Instance.app in
+    show "original" original;
+    show "left-deep" (Insp.Rewrite.left_deep_of original);
+    show "balanced" (Insp.Rewrite.balanced_of original);
+    let best, cost =
+      Insp.Rewrite.optimize (Insp.Prng.create seed) ~evaluate ~restarts
+        original
+    in
+    match cost with
+    | Some c ->
+      Format.printf "%-12s height %-3d $%.0f@." "optimized"
+        (Insp.Optree.height best) c
+    | None -> Format.printf "optimized    infeasible@."
+  in
+  let term = Term.(const run $ n_operators $ alpha $ seed $ restarts) in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:
+         "Search equivalent operator-tree shapes (associativity/\
+          commutativity) for a cheaper provisioning.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* catalog                                                             *)
+
+let catalog_cmd =
+  let run () = Format.printf "%a@." Insp.Catalog.pp Insp.Catalog.dell_2008 in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Print the Table-1 processor purchase catalog.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "resource allocation for constructive in-network stream processing" in
+  let info = Cmd.info "insp" ~version:Insp.version ~doc in
+  Cmd.group info
+    [
+      solve_cmd; simulate_cmd; sweep_cmd; exact_cmd; multi_cmd; rewrite_cmd;
+      catalog_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

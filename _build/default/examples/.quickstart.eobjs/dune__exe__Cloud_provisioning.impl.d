@@ -1,0 +1,1 @@
+examples/cloud_provisioning.ml: Insp List Option Printf

@@ -1,0 +1,1 @@
+examples/network_monitoring.ml: Array Format Insp List

@@ -1,0 +1,1 @@
+examples/query_rewriting.ml: Format Insp Option

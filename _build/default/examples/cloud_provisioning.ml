@@ -1,0 +1,77 @@
+(* Cloud provisioning what-if analysis (paper §1: "computing and network
+   units are rented by a cloud provider"): for one fixed application,
+   how does the platform bill react to the required result rate (rho)
+   and to the data refresh frequency?
+
+   Shows the downgrade step at work: lighter QoS lets the same operator
+   placement run on cheaper CPU and NIC models.
+
+     dune exec examples/cloud_provisioning.exe *)
+
+let provision app platform =
+  let sbu = Option.get (Insp.Solve.find "sbu") in
+  Insp.Solve.run sbu app platform
+
+let () =
+  let config = Insp.Config.make ~n_operators:50 ~alpha:1.2 ~seed:21 () in
+  let base = Insp.Instance.generate config in
+  let tree = Insp.App.tree base.Insp.Instance.app in
+  let objects = Insp.App.objects base.Insp.Instance.app in
+  let platform = base.Insp.Instance.platform in
+
+  (* --- sweep the required throughput --- *)
+  let table =
+    Insp.Table.create ~title:"platform bill vs required result rate"
+      [
+        ("rho (results/s)", Insp.Table.Right);
+        ("processors", Insp.Table.Right);
+        ("bill ($)", Insp.Table.Right);
+        ("$ per result/s", Insp.Table.Right);
+      ]
+  in
+  List.iter
+    (fun rho ->
+      let app =
+        Insp.App.make ~rho ~base_work:8000.0 ~work_factor:0.19 ~tree ~objects
+          ~alpha:1.2 ()
+      in
+      match provision app platform with
+      | Ok o ->
+        Insp.Table.add_row table
+          [
+            Printf.sprintf "%.2f" rho;
+            string_of_int o.n_procs;
+            Printf.sprintf "%.0f" o.cost;
+            Printf.sprintf "%.0f" (o.cost /. rho);
+          ]
+      | Error _ ->
+        Insp.Table.add_row table
+          [ Printf.sprintf "%.2f" rho; "-"; "-"; "unachievable" ])
+    [ 0.25; 0.5; 1.0; 1.5; 2.0; 3.0 ];
+  Insp.Table.print table;
+
+  (* --- sweep the refresh frequency at rho = 1 --- *)
+  let table =
+    Insp.Table.create
+      ~title:"platform bill vs data refresh period (same application)"
+      [
+        ("refresh period (s)", Insp.Table.Right);
+        ("processors", Insp.Table.Right);
+        ("bill ($)", Insp.Table.Right);
+      ]
+  in
+  List.iter
+    (fun period ->
+      let inst = Insp.Instance.with_frequency base (1.0 /. period) in
+      match provision inst.Insp.Instance.app inst.Insp.Instance.platform with
+      | Ok o ->
+        Insp.Table.add_row table
+          [
+            Printf.sprintf "%.0f" period;
+            string_of_int o.n_procs;
+            Printf.sprintf "%.0f" o.cost;
+          ]
+      | Error _ ->
+        Insp.Table.add_row table [ Printf.sprintf "%.0f" period; "-"; "-" ])
+    [ 2.0; 5.0; 10.0; 20.0; 50.0 ];
+  Insp.Table.print table

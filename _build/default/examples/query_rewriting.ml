@@ -1,0 +1,59 @@
+(* Mutable applications (paper §6, future work): the same continuous
+   query can be evaluated under many operator-tree shapes (operators are
+   associative and commutative); shapes differ in intermediate result
+   sizes and therefore in platform cost.
+
+   This example takes a pathological left-deep chain (the classic shape
+   of naive query plans, paper Fig. 1(b)), provisions it, and then lets
+   the rewriter search for a cheaper equivalent shape.
+
+     dune exec examples/query_rewriting.exe *)
+
+let () =
+  let inst =
+    Insp.Instance.generate
+      (Insp.Config.make ~n_operators:16 ~alpha:1.5 ~seed:13 ())
+  in
+  let platform = inst.Insp.Instance.platform in
+  let objects = Insp.App.objects inst.Insp.Instance.app in
+  let alpha = Insp.App.alpha inst.Insp.Instance.app in
+  let sbu = Option.get (Insp.Solve.find "sbu") in
+
+  let evaluate tree =
+    let app =
+      Insp.App.make ~base_work:8000.0 ~work_factor:0.19 ~tree ~objects ~alpha
+        ()
+    in
+    match Insp.Solve.run sbu app platform with
+    | Ok o -> Some o.Insp.Solve.cost
+    | Error _ -> None
+  in
+  let show name tree =
+    match evaluate tree with
+    | Some c ->
+      Format.printf "%-12s height %-2d  $%.0f@." name (Insp.Optree.height tree)
+        c;
+      c
+    | None ->
+      Format.printf "%-12s height %-2d  infeasible@." name
+        (Insp.Optree.height tree);
+      infinity
+  in
+
+  (* The query as a worst-case left-deep chain over the same leaves. *)
+  let chain = Insp.Rewrite.left_deep_of (Insp.App.tree inst.Insp.Instance.app) in
+  let worst = show "left-deep" chain in
+  ignore (show "balanced" (Insp.Rewrite.balanced_of chain));
+
+  (* Hill-climb from the chain using associativity rotations. *)
+  let best_tree, best_cost =
+    Insp.Rewrite.optimize (Insp.Prng.create 1) ~evaluate ~restarts:3 chain
+  in
+  (match best_cost with
+  | Some c ->
+    Format.printf "%-12s height %-2d  $%.0f@." "optimized"
+      (Insp.Optree.height best_tree) c;
+    Format.printf "@.rewriting recovered $%.0f (%.1f%%)@." (worst -. c)
+      (100.0 *. (worst -. c) /. worst)
+  | None -> Format.printf "no feasible shape found@.");
+  Format.printf "@.optimized shape:@.%a@." Insp.Optree.pp best_tree

@@ -1,0 +1,45 @@
+(* Quickstart: generate a random instance following the paper's
+   methodology, run all six placement heuristics, validate the best
+   mapping and execute it in the discrete-event runtime.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 40-operator application, computation factor 0.9, small objects
+     refreshed every 2 s, on the paper's 6-server platform. *)
+  let config = Insp.Config.make ~n_operators:40 ~alpha:0.9 ~seed:7 () in
+  let inst = Insp.Instance.generate config in
+  Format.printf "instance:@.%a@.@." Insp.Instance.pp inst;
+
+  (* Run every heuristic from the paper. *)
+  List.iter
+    (fun ((h : Insp.Solve.heuristic), result) ->
+      match result with
+      | Ok (o : Insp.Solve.outcome) ->
+        Format.printf "%-20s $%-8.0f (%d processors)@." h.name o.cost o.n_procs
+      | Error f ->
+        Format.printf "%-20s %s@." h.name (Insp.Solve.failure_message f))
+    (Insp.Solve.run_all ~seed:7 inst.Insp.Instance.app
+       inst.Insp.Instance.platform);
+
+  (* Pick the cheapest feasible mapping. *)
+  match Insp.solve ~seed:7 inst with
+  | Error f -> failwith (Insp.Solve.failure_message f)
+  | Ok best ->
+    Format.printf "@.best mapping ($%.0f):@.%a@." best.Insp.Solve.cost
+      Insp.Alloc.pp best.Insp.Solve.alloc;
+
+    (* The checker proves the mapping satisfies constraints (1)-(5)... *)
+    let violations =
+      Insp.Check.check inst.Insp.Instance.app inst.Insp.Instance.platform
+        best.Insp.Solve.alloc
+    in
+    Format.printf "checker: %s@." (Insp.Check.explain violations);
+
+    (* ...and the simulator shows it actually sustains the target
+       throughput. *)
+    let report = Insp.simulate inst best.Insp.Solve.alloc in
+    Format.printf "@.%a@." Insp.Runtime.pp_report report;
+    Format.printf "sustains rho = %.1f results/s: %b@."
+      report.Insp.Runtime.target_throughput
+      (Insp.Runtime.sustains_target report)

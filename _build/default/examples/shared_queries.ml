@@ -1,0 +1,41 @@
+(* Multiple concurrent continuous queries (paper §6, future work):
+   several dashboards watch the same sensor deployment and share
+   sub-expressions; evaluating the shared parts once and reusing them
+   lowers the platform bill.
+
+     dune exec examples/shared_queries.exe *)
+
+let () =
+  (* Three correlated 25-operator queries over the paper platform. *)
+  let apps, platform =
+    Insp.Multi_workload.instance ~seed:11 ~n_apps:3 ~n_operators:25
+  in
+
+  (* How much is sharable? *)
+  let savings = Insp.Cse.savings apps in
+  Format.printf "sharable structure:@.%a@.@." Insp.Cse.pp_savings savings;
+
+  (* Provision without sharing: each tree keeps its own operators. *)
+  let unshared = Insp.Dag.of_apps apps in
+  (* ...and with hash-consed common sub-expressions. *)
+  let shared = Insp.Cse.share_apps apps in
+  Format.printf "DAG nodes: %d unshared vs %d shared@.@."
+    (Insp.Dag.n_nodes unshared) (Insp.Dag.n_nodes shared);
+
+  let provision name dag =
+    match Insp.Dag_place.run dag platform with
+    | Ok o ->
+      Format.printf "%-12s $%-8.0f (%d processors)@." name o.cost o.n_procs;
+      Some o.cost
+    | Error f ->
+      Format.printf "%-12s %s@." name (Insp.Dag_place.failure_message f);
+      None
+  in
+  let a = provision "no sharing" unshared in
+  let b = provision "CSE sharing" shared in
+  match (a, b) with
+  | Some a, Some b ->
+    Format.printf "@.sharing saves $%.0f (%.1f%%) on the platform bill@."
+      (a -. b)
+      (100.0 *. (a -. b) /. a)
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Figure Fun Insp_heuristics Insp_mapping Insp_platform Insp_util Insp_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/figure.ml: Buffer Float Insp_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Ablations Figure Insp_heuristics Insp_lp Insp_mapping Insp_multi Insp_platform Insp_rewrite Insp_sim Insp_tree Insp_util Insp_workload List Option Printf

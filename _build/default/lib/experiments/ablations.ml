@@ -1,0 +1,337 @@
+module Config = Insp_workload.Config
+module Instance = Insp_workload.Instance
+module Solve = Insp_heuristics.Solve
+module Builder = Insp_heuristics.Builder
+module Common = Insp_heuristics.Common
+module H_comm_greedy = Insp_heuristics.H_comm_greedy
+module Server_select = Insp_heuristics.Server_select
+module Downgrade = Insp_heuristics.Downgrade
+module Alloc = Insp_mapping.Alloc
+module Check = Insp_mapping.Check
+module Cost = Insp_mapping.Cost
+module Platform = Insp_platform.Platform
+module Table = Insp_util.Table
+module Stats = Insp_util.Stats
+module Prng = Insp_util.Prng
+
+let default_seeds = [ 1; 2; 3; 4; 5 ]
+
+let find_h key = List.find (fun h -> h.Solve.key = key) Solve.all
+
+let mean_and_successes runs =
+  let ok = List.filter_map Fun.id runs in
+  let mean =
+    if ok = [] then "-" else Printf.sprintf "%.0f" (Stats.mean ok)
+  in
+  (mean, Printf.sprintf "%d/%d" (List.length ok) (List.length runs))
+
+(* ------------------------------------------------------------------ *)
+(* Replication level (paper §5 last paragraph)                         *)
+
+let replication ?(seeds = default_seeds)
+    ?(copy_ranges = [ (1, 1); (1, 2); (2, 2); (3, 3); (4, 4) ]) () =
+  let points =
+    List.map
+      (fun (min_copies, max_copies) ->
+        let config =
+          Config.make ~n_operators:60 ~alpha:0.9 ~min_copies ~max_copies ()
+        in
+        let runs =
+          List.map
+            (fun seed ->
+              let inst = Instance.generate { config with Config.seed } in
+              Solve.run_all ~seed inst.Instance.app inst.Instance.platform)
+            seeds
+        in
+        let cells =
+          List.map
+            (fun h ->
+              let costs =
+                List.filter_map
+                  (fun per_seed ->
+                    match List.assq_opt h per_seed with
+                    | Some (Ok o) -> Some o.Solve.cost
+                    | Some (Error _) | None -> None)
+                  runs
+              in
+              ( h.Solve.name,
+                Figure.cell_of_costs ~attempts:(List.length seeds) costs ))
+            Solve.all
+        in
+        {
+          Figure.x = float_of_int (min_copies + max_copies) /. 2.0;
+          cells;
+        })
+      copy_ranges
+  in
+  {
+    Figure.id = "replication";
+    title =
+      "influence of basic-object replication (N=60, alpha=0.9; x = mean \
+       copies per object)";
+    xlabel = "copies";
+    points;
+    notes =
+      [ "paper \u{00a7}5: the replication level has little or no effect in \
+         general" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Iterative grouping fallback                                         *)
+
+let grouping_rounds ?(seeds = default_seeds) ?(ns = [ 60; 100; 140 ]) () =
+  let table =
+    Table.create
+      ~title:
+        "[ablation] iterative grouping fallback (SBU): 1 round (paper) vs 8"
+      [
+        ("N", Table.Right);
+        ("feasible (1 round)", Table.Right);
+        ("cost (1 round)", Table.Right);
+        ("feasible (8 rounds)", Table.Right);
+        ("cost (8 rounds)", Table.Right);
+      ]
+  in
+  let sbu = find_h "sbu" in
+  List.iter
+    (fun n ->
+      let run rounds seed =
+        let inst =
+          Instance.generate (Config.make ~n_operators:n ~alpha:0.9 ~seed ())
+        in
+        Common.with_collapse_rounds rounds (fun () ->
+            match Solve.run ~seed sbu inst.Instance.app inst.Instance.platform with
+            | Ok o -> Some o.Solve.cost
+            | Error _ -> None)
+      in
+      let one = List.map (run 1) seeds in
+      let eight = List.map (run 8) seeds in
+      let m1, s1 = mean_and_successes one in
+      let m8, s8 = mean_and_successes eight in
+      Table.add_row table [ string_of_int n; s1; m1; s8; m8 ])
+    ns;
+  Table.render table
+
+(* ------------------------------------------------------------------ *)
+(* Comm-Greedy merge sweeps                                            *)
+
+let merge_sweeps ?(seeds = default_seeds)
+    ?(cases = [ (20, Config.Small); (60, Config.Small); (30, Config.Large) ])
+    () =
+  let table =
+    Table.create
+      ~title:"[ablation] Comm-Greedy case-(iii) merge sweeps: off vs on"
+      [
+        ("N", Table.Right);
+        ("sizes", Table.Left);
+        ("cost (no sweeps)", Table.Right);
+        ("cost (sweeps)", Table.Right);
+        ("saving", Table.Right);
+      ]
+  in
+  let comm = find_h "comm" in
+  List.iter
+    (fun (n, sizes) ->
+      let size_name =
+        match sizes with Config.Small -> "small" | Config.Large -> "large"
+      in
+      let run enabled seed =
+        let inst =
+          Instance.generate
+            (Config.make ~n_operators:n ~alpha:0.9 ~sizes ~seed ())
+        in
+        H_comm_greedy.with_merge_sweeps enabled (fun () ->
+            match Solve.run ~seed comm inst.Instance.app inst.Instance.platform with
+            | Ok o -> Some o.Solve.cost
+            | Error _ -> None)
+      in
+      let off = List.filter_map (run false) seeds in
+      let on = List.filter_map (run true) seeds in
+      match (off, on) with
+      | [], _ | _, [] ->
+        Table.add_row table [ string_of_int n; size_name; "-"; "-"; "-" ]
+      | _ ->
+        let m_off = Stats.mean off and m_on = Stats.mean on in
+        Table.add_row table
+          [
+            string_of_int n;
+            size_name;
+            Printf.sprintf "%.0f" m_off;
+            Printf.sprintf "%.0f" m_on;
+            Printf.sprintf "%.1f%%" (100.0 *. (m_off -. m_on) /. m_off);
+          ])
+    cases;
+  Table.render table
+
+(* ------------------------------------------------------------------ *)
+(* Downgrade step                                                      *)
+
+(* Re-run the pipeline without the downgrade and compare. *)
+let solve_without_downgrade h seed app platform =
+  let rng = Prng.create seed in
+  match h.Solve.run rng app platform with
+  | Error _ -> None
+  | Ok builder -> (
+    match Builder.finalize builder with
+    | Error _ -> None
+    | Ok (groups, configs) -> (
+      let selection =
+        if h.Solve.randomized then Server_select.random rng app platform ~groups
+        else Server_select.sophisticated app platform ~groups
+      in
+      match selection with
+      | Error _ -> None
+      | Ok downloads -> (
+        let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+        match Check.check app platform alloc with
+        | [] -> Some (Cost.of_alloc platform.Platform.catalog alloc)
+        | _ -> None)))
+
+let downgrade_step ?(seeds = default_seeds) ?(ns = [ 60 ]) () =
+  let table =
+    Table.create
+      ~title:
+        "[ablation] the downgrade step (N=60, alpha=0.9): provisioned vs \
+         downgraded cost"
+      [
+        ("heuristic", Table.Left);
+        ("no downgrade", Table.Right);
+        ("with downgrade", Table.Right);
+        ("saving", Table.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun h ->
+          let raw =
+            List.filter_map
+              (fun seed ->
+                let inst =
+                  Instance.generate
+                    (Config.make ~n_operators:n ~alpha:0.9 ~seed ())
+                in
+                solve_without_downgrade h seed inst.Instance.app
+                  inst.Instance.platform)
+              seeds
+          in
+          let down =
+            List.filter_map
+              (fun seed ->
+                let inst =
+                  Instance.generate
+                    (Config.make ~n_operators:n ~alpha:0.9 ~seed ())
+                in
+                match
+                  Solve.run ~seed h inst.Instance.app inst.Instance.platform
+                with
+                | Ok o -> Some o.Solve.cost
+                | Error _ -> None)
+              seeds
+          in
+          match (raw, down) with
+          | [], _ | _, [] ->
+            Table.add_row table [ h.Solve.name; "-"; "-"; "-" ]
+          | _ ->
+            let m_raw = Stats.mean raw and m_down = Stats.mean down in
+            Table.add_row table
+              [
+                h.Solve.name;
+                Printf.sprintf "%.0f" m_raw;
+                Printf.sprintf "%.0f" m_down;
+                Printf.sprintf "%.1f%%" (100.0 *. (m_raw -. m_down) /. m_raw);
+              ])
+        Solve.all)
+    ns;
+  Table.render table
+
+(* ------------------------------------------------------------------ *)
+(* Server selection                                                    *)
+
+let server_selection ?(seeds = default_seeds)
+    ?(cases = [ (60, Config.Small); (40, Config.Large) ]) () =
+  let table =
+    Table.create
+      ~title:
+        "[ablation] server selection under SBU placement: random vs \
+         three-loop"
+      [
+        ("N", Table.Right);
+        ("sizes", Table.Left);
+        ("random ok", Table.Right);
+        ("random cost", Table.Right);
+        ("3-loop ok", Table.Right);
+        ("3-loop cost", Table.Right);
+      ]
+  in
+  let sbu = find_h "sbu" in
+  let variant select seed inst =
+    let app = inst.Instance.app and platform = inst.Instance.platform in
+    match sbu.Solve.run (Prng.create seed) app platform with
+    | Error _ -> None
+    | Ok builder -> (
+      match Builder.finalize builder with
+      | Error _ -> None
+      | Ok (groups, configs) -> (
+        match select app platform groups with
+        | Error _ -> None
+        | Ok downloads -> (
+          let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+          let alloc = Downgrade.run app platform alloc in
+          match Check.check app platform alloc with
+          | [] -> Some (Cost.of_alloc platform.Platform.catalog alloc)
+          | _ -> None)))
+  in
+  List.iter
+    (fun (n, sizes) ->
+      let size_name =
+        match sizes with Config.Small -> "small" | Config.Large -> "large"
+      in
+      let config = Config.make ~n_operators:n ~alpha:0.9 ~sizes () in
+      let runs select =
+        List.map
+          (fun seed ->
+            let inst = Instance.generate { config with Config.seed } in
+            variant select seed inst)
+          seeds
+      in
+      let rnd =
+        runs (fun app platform groups ->
+            Server_select.random (Prng.create 99) app platform ~groups)
+      in
+      let soph =
+        runs (fun app platform groups ->
+            Server_select.sophisticated app platform ~groups)
+      in
+      let m_r, s_r = mean_and_successes rnd in
+      let m_s, s_s = mean_and_successes soph in
+      Table.add_row table [ string_of_int n; size_name; s_r; m_r; s_s; m_s ])
+    cases;
+  Table.render table
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ( "ablation-grouping",
+      fun ~quick ->
+        let seeds = if quick then [ 1; 2 ] else default_seeds in
+        let ns = if quick then [ 60 ] else [ 60; 100; 140 ] in
+        grouping_rounds ~seeds ~ns () );
+    ( "ablation-sweeps",
+      fun ~quick ->
+        let seeds = if quick then [ 1; 2 ] else default_seeds in
+        let cases =
+          if quick then [ (30, Config.Large) ]
+          else [ (20, Config.Small); (60, Config.Small); (30, Config.Large) ]
+        in
+        merge_sweeps ~seeds ~cases () );
+    ( "ablation-downgrade",
+      fun ~quick ->
+        let seeds = if quick then [ 1; 2 ] else default_seeds in
+        downgrade_step ~seeds () );
+    ( "ablation-selection",
+      fun ~quick ->
+        let seeds = if quick then [ 1; 2 ] else default_seeds in
+        server_selection ~seeds () );
+  ]

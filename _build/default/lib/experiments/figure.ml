@@ -1,0 +1,116 @@
+module Table = Insp_util.Table
+module Csv = Insp_util.Csv
+
+type cell = {
+  mean_cost : float option;
+  successes : int;
+  attempts : int;
+}
+
+type point = { x : float; cells : (string * cell) list }
+
+type t = {
+  id : string;
+  title : string;
+  xlabel : string;
+  points : point list;
+  notes : string list;
+}
+
+let cell_of_costs ~attempts costs =
+  let successes = List.length costs in
+  let mean_cost =
+    if 2 * successes < attempts || successes = 0 then None
+    else Some (Insp_util.Stats.mean costs)
+  in
+  { mean_cost; successes; attempts }
+
+let series_names t =
+  match t.points with [] -> [] | p :: _ -> List.map fst p.cells
+
+let fmt_x x =
+  if Float.is_integer x then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x
+
+let to_csv t =
+  let names = series_names t in
+  let csv = Csv.create (t.xlabel :: names) in
+  List.iter
+    (fun p ->
+      Csv.add_floats csv
+        (p.x
+        :: List.map
+             (fun n ->
+               match List.assoc_opt n p.cells with
+               | Some { mean_cost = Some c; _ } -> c
+               | _ -> Float.nan)
+             names))
+    t.points;
+  csv
+
+let render t =
+  let names = series_names t in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "[%s] %s" t.id t.title)
+      ((t.xlabel, Table.Right)
+      :: List.map (fun n -> (n, Table.Right)) names)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun n ->
+            match List.assoc_opt n p.cells with
+            | Some { mean_cost = Some c; successes; attempts } ->
+              if successes = attempts then Printf.sprintf "%.0f" c
+              else Printf.sprintf "%.0f (%d/%d)" c successes attempts
+            | Some { mean_cost = None; successes; attempts } ->
+              if successes = 0 then "-"
+              else Printf.sprintf "- (%d/%d)" successes attempts
+            | None -> "?")
+          names
+      in
+      Table.add_row table (fmt_x p.x :: cells))
+    t.points;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Table.render table);
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("note: " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.add_string buf "csv:\n";
+  Buffer.add_string buf (Csv.to_string (to_csv t));
+  Buffer.contents buf
+
+let winner_counts t =
+  let names = series_names t in
+  let wins = List.map (fun n -> (n, ref 0)) names in
+  List.iter
+    (fun p ->
+      let plotted =
+        List.filter_map
+          (fun (n, c) ->
+            match c.mean_cost with Some v -> Some (n, v) | None -> None)
+          p.cells
+      in
+      match plotted with
+      | [] -> ()
+      | (n0, v0) :: rest ->
+        let best_name, best_val =
+          List.fold_left
+            (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+            (n0, v0) rest
+        in
+        let strictly =
+          List.for_all
+            (fun (n, v) -> n = best_name || v > best_val)
+            plotted
+        in
+        if strictly then
+          match List.assoc_opt best_name wins with
+          | Some r -> incr r
+          | None -> ())
+    t.points;
+  List.map (fun (n, r) -> (n, !r)) wins

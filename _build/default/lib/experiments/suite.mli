@@ -1,0 +1,62 @@
+(** The reproduced experiments — one entry per table/figure of the
+    paper's evaluation (§5), plus the §5 text-only experiments and an
+    extra simulator cross-validation.  See DESIGN.md §4 for the
+    experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+
+    Every experiment averages over several seeds; deterministic given
+    the seed list. *)
+
+val default_seeds : int list
+(** [1..5]. *)
+
+val fig2a : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
+(** Figure 2(a): cost vs N, alpha = 0.9, high frequency, small objects. *)
+
+val fig2b : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
+(** Figure 2(b): same, alpha = 1.7. *)
+
+val fig3 : ?seeds:int list -> ?alphas:float list -> ?n:int -> unit -> Figure.t
+(** Figure 3: cost vs alpha at fixed N (default 60, the paper's figure;
+    N = 20 reproduces the §5 text's threshold discussion). *)
+
+val large_objects : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
+(** §5 text: large objects (450-530 MB); feasibility collapses beyond
+    N ~ 45. *)
+
+val low_frequency : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
+(** §5 text: low download frequency (1/50 s); mappings mostly unchanged,
+    cheaper network cards. *)
+
+val rate_sweep : ?seeds:int list -> ?periods:float list -> ?n:int -> unit -> Figure.t
+(** §5 text: influence of the download rate; frequencies below 1/10 s
+    stop affecting the solution.  The x axis is the refresh period in
+    seconds; the tree is held fixed per seed across frequencies. *)
+
+val ilp_compare : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
+(** §5 last experiment: heuristics vs the exact optimum (our
+    branch-and-bound standing in for CPLEX) on a homogeneous platform,
+    plus the quick lower bound.  Extra series: "Exact" and "Bound". *)
+
+val rewrite : ?seeds:int list -> ?ns:int list -> ?alpha:float -> unit -> Figure.t
+(** Extension (paper §6 future work): mutable applications.  For the
+    same leaf multiset, provisioning cost (SBU) of the left-deep chain,
+    the original random shape, the balanced tree and a hill-climbed
+    shape; series over tree size. *)
+
+val sharing : ?seeds:int list -> ?n_apps_list:int list -> ?n:int -> unit -> Figure.t
+(** Extension (paper §6 future work): concurrent correlated applications
+    placed with and without common-subexpression sharing; series
+    "No sharing" and "CSE sharing", x = number of applications. *)
+
+val sim_validation : ?seeds:int list -> ?ns:int list -> unit -> string
+(** Extra (not in the paper): every feasible Subtree-bottom-up mapping is
+    executed in the discrete-event runtime; reports achieved vs target
+    throughput.  Rendered as its own table. *)
+
+val all_ids : string list
+(** In DESIGN.md order: fig2a fig2b fig3 fig3-n20 large lowfreq rates ilp
+    simcheck. *)
+
+val run_by_id : ?quick:bool -> string -> string option
+(** Rendered experiment output; [quick] shrinks seeds and sweep points
+    (used by tests).  [None] for an unknown id. *)

@@ -1,0 +1,1 @@
+lib/heuristics/builder.ml: Array Hashtbl Insp_mapping Insp_platform Insp_tree List Option Printf String

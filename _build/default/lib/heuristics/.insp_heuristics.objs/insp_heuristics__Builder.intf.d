@@ -1,0 +1,1 @@
+lib/heuristics/builder.mli: Insp_mapping Insp_platform Insp_tree

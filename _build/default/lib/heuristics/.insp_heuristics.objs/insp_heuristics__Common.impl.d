@@ -1,0 +1,1 @@
+lib/heuristics/common.ml: Builder Fun Insp_platform Insp_tree List Option Printf String

@@ -1,0 +1,1 @@
+lib/heuristics/common.mli: Builder Insp_tree

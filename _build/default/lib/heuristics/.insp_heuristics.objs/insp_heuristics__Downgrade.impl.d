@@ -1,0 +1,1 @@
+lib/heuristics/downgrade.ml: Insp_mapping Insp_platform

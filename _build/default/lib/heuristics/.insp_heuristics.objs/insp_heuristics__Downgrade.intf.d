@@ -1,0 +1,1 @@
+lib/heuristics/downgrade.mli: Insp_mapping Insp_platform Insp_tree

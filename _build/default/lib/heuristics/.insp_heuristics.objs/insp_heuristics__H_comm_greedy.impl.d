@@ -1,0 +1,1 @@
+lib/heuristics/h_comm_greedy.ml: Builder Common Fun Insp_tree List

@@ -1,0 +1,1 @@
+lib/heuristics/h_comp_greedy.ml: Builder Common Insp_tree

@@ -1,0 +1,1 @@
+lib/heuristics/h_object_availability.ml: Builder Common Insp_platform Insp_tree List

@@ -1,0 +1,1 @@
+lib/heuristics/h_object_grouping.ml: Array Builder Common Insp_tree List

@@ -1,0 +1,1 @@
+lib/heuristics/h_object_grouping.mli: Builder Insp_platform Insp_tree Insp_util

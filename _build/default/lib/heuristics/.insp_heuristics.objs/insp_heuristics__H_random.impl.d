@@ -1,0 +1,1 @@
+lib/heuristics/h_random.ml: Builder Common Insp_tree Insp_util

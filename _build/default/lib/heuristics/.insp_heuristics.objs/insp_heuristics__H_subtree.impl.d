@@ -1,0 +1,1 @@
+lib/heuristics/h_subtree.ml: Builder Common Float Insp_tree List Option

@@ -1,0 +1,1 @@
+lib/heuristics/server_select.ml: Array Float Insp_mapping Insp_platform Insp_tree Insp_util List Printf

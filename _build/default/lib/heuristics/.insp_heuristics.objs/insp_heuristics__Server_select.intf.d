@@ -1,0 +1,1 @@
+lib/heuristics/server_select.mli: Insp_platform Insp_tree Insp_util

@@ -1,0 +1,1 @@
+lib/heuristics/solve.mli: Builder Insp_mapping Insp_platform Insp_tree Insp_util

@@ -1,0 +1,201 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+module Demand = Insp_mapping.Demand
+
+type group_id = int
+
+type group = { mutable members : int list; mutable cfg : Catalog.config }
+
+type t = {
+  app : App.t;
+  platform : Platform.t;
+  groups : (group_id, group) Hashtbl.t;
+  mutable order : group_id list;  (* acquisition order, reversed *)
+  mutable next_id : group_id;
+  assign : group_id option array;  (* operator -> group *)
+}
+
+let create app platform =
+  {
+    app;
+    platform;
+    groups = Hashtbl.create 32;
+    order = [];
+    next_id = 0;
+    assign = Array.make (App.n_operators app) None;
+  }
+
+let app t = t.app
+let platform t = t.platform
+
+let group_ids t = List.rev t.order
+
+let group t gid =
+  match Hashtbl.find_opt t.groups gid with
+  | Some g -> g
+  | None -> invalid_arg "Builder: dead group id"
+
+let members t gid = (group t gid).members
+let config t gid = (group t gid).cfg
+let assignment t i = t.assign.(i)
+
+let unassigned t =
+  let acc = ref [] in
+  for i = Array.length t.assign - 1 downto 0 do
+    if t.assign.(i) = None then acc := i :: !acc
+  done;
+  !acc
+
+let all_assigned t = Array.for_all Option.is_some t.assign
+
+let demand t gid = Demand.of_group t.app (members t gid)
+
+(* Flow (MB/s) over the link between two disjoint member sets: tree edges
+   with one endpoint in each. *)
+let flow_between app g h =
+  let tree = App.tree app in
+  let rho = App.rho app in
+  let in_set set i = List.mem i set in
+  let one_way src dst =
+    List.fold_left
+      (fun acc i ->
+        match Optree.parent tree i with
+        | Some p when in_set dst p -> acc +. (rho *. App.output_size app i)
+        | Some _ | None -> acc)
+      0.0 src
+  in
+  one_way g h +. one_way h g
+
+let tolerance = 1e-9
+let leq value capacity = value <= capacity *. (1.0 +. tolerance) +. tolerance
+
+let can_host t ~config ~members ?(ignore_groups = []) () =
+  let d = Demand.of_group t.app members in
+  Demand.fits config d
+  && Hashtbl.fold
+       (fun gid g ok ->
+         ok
+         && (List.mem gid ignore_groups
+            || leq
+                 (flow_between t.app members g.members)
+                 t.platform.Platform.proc_link))
+       t.groups true
+
+let cheapest_hosting t ~members ?(ignore_groups = []) () =
+  let catalog = t.platform.Platform.catalog in
+  List.find_opt
+    (fun cfg -> can_host t ~config:cfg ~members ~ignore_groups ())
+    (Catalog.configs catalog)
+
+let acquire t ~config ~members =
+  List.iter
+    (fun i ->
+      if t.assign.(i) <> None then
+        invalid_arg "Builder.acquire: operator already assigned")
+    members;
+  if not (can_host t ~config ~members ()) then
+    Error
+      (Printf.sprintf "cannot host operators {%s} on the requested processor"
+         (String.concat ", " (List.map string_of_int members)))
+  else begin
+    let gid = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Hashtbl.replace t.groups gid
+      { members = List.sort compare members; cfg = config };
+    t.order <- gid :: t.order;
+    List.iter (fun i -> t.assign.(i) <- Some gid) members;
+    Ok gid
+  end
+
+let try_add t gid op =
+  if t.assign.(op) <> None then
+    invalid_arg "Builder.try_add: operator already assigned";
+  let g = group t gid in
+  let candidate = List.sort compare (op :: g.members) in
+  if can_host t ~config:g.cfg ~members:candidate ~ignore_groups:[ gid ] () then begin
+    g.members <- candidate;
+    t.assign.(op) <- Some gid;
+    true
+  end
+  else false
+
+let sell t gid =
+  let g = group t gid in
+  List.iter (fun i -> t.assign.(i) <- None) g.members;
+  Hashtbl.remove t.groups gid;
+  t.order <- List.filter (fun id -> id <> gid) t.order
+
+let try_absorb t winner loser =
+  if winner = loser then invalid_arg "Builder.try_absorb: same group";
+  let gw = group t winner in
+  let gl = group t loser in
+  let candidate = List.sort compare (gw.members @ gl.members) in
+  if
+    can_host t ~config:gw.cfg ~members:candidate
+      ~ignore_groups:[ winner; loser ] ()
+  then begin
+    let absorbed = gl.members in
+    sell t loser;
+    gw.members <- candidate;
+    List.iter (fun i -> t.assign.(i) <- Some winner) absorbed;
+    true
+  end
+  else false
+
+let try_add_upgrade t gid op =
+  if t.assign.(op) <> None then
+    invalid_arg "Builder.try_add_upgrade: operator already assigned";
+  let g = group t gid in
+  let candidate = List.sort compare (op :: g.members) in
+  match cheapest_hosting t ~members:candidate ~ignore_groups:[ gid ] () with
+  | None -> false
+  | Some cfg ->
+    g.members <- candidate;
+    g.cfg <- cfg;
+    t.assign.(op) <- Some gid;
+    true
+
+let try_absorb_upgrade t winner loser =
+  if winner = loser then invalid_arg "Builder.try_absorb_upgrade: same group";
+  let gw = group t winner in
+  let gl = group t loser in
+  let candidate = List.sort compare (gw.members @ gl.members) in
+  match
+    cheapest_hosting t ~members:candidate ~ignore_groups:[ winner; loser ] ()
+  with
+  | None -> false
+  | Some cfg ->
+    let absorbed = gl.members in
+    sell t loser;
+    gw.members <- candidate;
+    gw.cfg <- cfg;
+    List.iter (fun i -> t.assign.(i) <- Some winner) absorbed;
+    true
+
+let sell_if_empty t gid =
+  match Hashtbl.find_opt t.groups gid with
+  | Some g when g.members = [] -> sell t gid
+  | Some _ | None -> ()
+
+let release_operator t op =
+  match t.assign.(op) with
+  | None -> ()
+  | Some gid ->
+    let g = group t gid in
+    g.members <- List.filter (fun i -> i <> op) g.members;
+    t.assign.(op) <- None;
+    sell_if_empty t gid
+
+let set_config t gid cfg = (group t gid).cfg <- cfg
+
+let finalize t =
+  if not (all_assigned t) then
+    Error "placement incomplete: some operators remain unassigned"
+  else begin
+    let ids = group_ids t in
+    let groups = Array.of_list (List.map (members t) ids) in
+    let configs = Array.of_list (List.map (config t) ids) in
+    Ok (groups, configs)
+  end

@@ -1,0 +1,92 @@
+(** Mutable placement state shared by all operator-placement heuristics.
+
+    A builder tracks a set of {e groups} — processors being provisioned,
+    each with a configuration and a set of operators — plus the
+    operator-to-group assignment.  Every mutation is guarded by the exact
+    final-state capacity test: a group's demand ({!Insp_mapping.Demand})
+    only decreases when other operators join their neighbours later, so a
+    check that passes during construction still passes at validation
+    time.  Pairwise link flows (constraint (5)) are checked against all
+    existing groups on every mutation. *)
+
+type t
+
+type group_id = int
+
+val create : Insp_tree.App.t -> Insp_platform.Platform.t -> t
+
+val app : t -> Insp_tree.App.t
+val platform : t -> Insp_platform.Platform.t
+
+val group_ids : t -> group_id list
+(** Live groups, in acquisition order. *)
+
+val members : t -> group_id -> int list
+val config : t -> group_id -> Insp_platform.Catalog.config
+val assignment : t -> int -> group_id option
+val unassigned : t -> int list
+(** Operators not yet placed, increasing id order. *)
+
+val all_assigned : t -> bool
+
+val demand : t -> group_id -> Insp_mapping.Demand.t
+
+val can_host :
+  t ->
+  config:Insp_platform.Catalog.config ->
+  members:int list ->
+  ?ignore_groups:group_id list ->
+  unit ->
+  bool
+(** Would a processor with [config] hosting exactly [members] satisfy its
+    compute and NIC capacity and keep every link flow towards the other
+    live groups (minus [ignore_groups]) within [proc_link]? *)
+
+val cheapest_hosting :
+  t -> members:int list -> ?ignore_groups:group_id list -> unit ->
+  Insp_platform.Catalog.config option
+(** Cheapest catalog configuration passing {!can_host}; [None] if even
+    the best configuration fails. *)
+
+val acquire :
+  t -> config:Insp_platform.Catalog.config -> members:int list ->
+  (group_id, string) result
+(** Buys a new processor for [members] (all currently unassigned).
+    Fails without mutating when {!can_host} rejects. *)
+
+val try_add : t -> group_id -> int -> bool
+(** Attempts to place one unassigned operator on an existing group,
+    keeping the group's configuration.  Returns [false] (no mutation)
+    when it does not fit. *)
+
+val try_absorb : t -> group_id -> group_id -> bool
+(** [try_absorb t winner loser] moves every operator of [loser] onto
+    [winner] (keeping [winner]'s configuration) and sells [loser].
+    Returns [false] without mutating when the union does not fit. *)
+
+val try_add_upgrade : t -> group_id -> int -> bool
+(** Like {!try_add}, but allowed to exchange the group's processor for
+    the cheapest configuration hosting the extended group (constructive
+    setting: the old unit is sold back).  Never downgrades below what the
+    extended group needs. *)
+
+val try_absorb_upgrade : t -> group_id -> group_id -> bool
+(** Like {!try_absorb}, but the winner may be exchanged for the cheapest
+    configuration hosting the merged group. *)
+
+val release_operator : t -> int -> unit
+(** Unassigns one operator; sells its group if that leaves it empty. *)
+
+val sell : t -> group_id -> unit
+(** Returns the processor to the store; all its operators become
+    unassigned again. *)
+
+val sell_if_empty : t -> group_id -> unit
+
+val set_config : t -> group_id -> Insp_platform.Catalog.config -> unit
+(** Unchecked configuration swap (used by tests); prefer
+    {!Downgrade.run} on finished allocations. *)
+
+val finalize : t -> (int list array * Insp_platform.Catalog.config array, string) result
+(** Compacted groups and configurations, in acquisition order.  Fails if
+    any operator is still unassigned. *)

@@ -1,0 +1,119 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+
+type style = [ `Best | `Cheapest ]
+
+let comm_partner app op =
+  let tree = App.tree app in
+  let rho = App.rho app in
+  let candidates =
+    List.map
+      (fun c -> (c, rho *. App.output_size app c))
+      (Optree.children tree op)
+    @
+    match Optree.parent tree op with
+    | None -> []
+    | Some p -> [ (p, rho *. App.output_size app op) ]
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun (bi, bw) (i, w) -> if w > bw then (i, w) else (bi, bw))
+        first rest
+    in
+    Some (fst best)
+
+let by_work_desc app ops =
+  List.sort
+    (fun a b ->
+      let c = compare (App.work app b) (App.work app a) in
+      if c <> 0 then c else compare a b)
+    ops
+
+let fill b gid candidates =
+  List.iter
+    (fun op ->
+      if Builder.assignment b op = None then ignore (Builder.try_add b gid op))
+    candidates
+
+let best_config b = Catalog.best (Builder.platform b).Platform.catalog
+
+let acquire_for b ~style members =
+  let config =
+    match style with
+    | `Best ->
+      let c = best_config b in
+      if Builder.can_host b ~config:c ~members () then Some c else None
+    | `Cheapest -> Builder.cheapest_hosting b ~members ()
+  in
+  match config with
+  | Some config -> Builder.acquire b ~config ~members
+  | None ->
+    Error
+      (Printf.sprintf "no processor can host operators {%s}"
+         (String.concat ", " (List.map string_of_int members)))
+
+(* Most communication-demanding neighbour (over tree edges) of a member
+   set, excluding the members themselves. *)
+let heaviest_outside_neighbor app members =
+  let tree = App.tree app in
+  let rho = App.rho app in
+  let in_set i = List.mem i members in
+  let best = ref None in
+  let consider cand weight =
+    match !best with
+    | Some (_, w) when w >= weight -> ()
+    | Some _ | None -> best := Some (cand, weight)
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun c ->
+          if not (in_set c) then consider c (rho *. App.output_size app c))
+        (Optree.children tree m);
+      match Optree.parent tree m with
+      | Some p when not (in_set p) -> consider p (rho *. App.output_size app m)
+      | Some _ | None -> ())
+    members;
+  Option.map fst !best
+
+(* The grouping step applied iteratively: each round pulls in the member
+   set's most communication-demanding neighbour (selling the neighbour's
+   processor if it had one) until the set fits on one processor.  The
+   paper describes a single pairing round; iterating is its natural
+   completion and is required when a chain of tree edges each exceeds the
+   processor-link bandwidth, which forces more than two operators onto
+   one machine.  The round budget is a mutable knob so the ablation
+   bench can measure the paper's single-round variant. *)
+let collapse_rounds = ref 8
+
+let with_collapse_rounds n f =
+  if n < 1 then invalid_arg "Common.with_collapse_rounds: n >= 1";
+  let saved = !collapse_rounds in
+  collapse_rounds := n;
+  Fun.protect ~finally:(fun () -> collapse_rounds := saved) f
+
+let acquire_with_grouping b ~style op =
+  let app = Builder.app b in
+  let rec grow members rounds =
+    match acquire_for b ~style members with
+    | Ok gid -> Ok gid
+    | Error e ->
+      if rounds <= 0 then Error e
+      else (
+        match heaviest_outside_neighbor app members with
+        | None -> Error e
+        | Some neighbor ->
+          (match Builder.assignment b neighbor with
+          | Some gid -> Builder.sell b gid
+          | None -> ());
+          grow (neighbor :: members) (rounds - 1))
+  in
+  grow [ op ] !collapse_rounds
+
+let object_set app i =
+  List.sort_uniq compare (Optree.leaves (App.tree app) i)

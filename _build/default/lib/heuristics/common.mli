@@ -1,0 +1,44 @@
+(** Helpers shared by the placement heuristics. *)
+
+type style = [ `Best | `Cheapest ]
+(** Which configuration a heuristic provisions when buying a processor:
+    the catalog's most expensive one (later downgraded) or the cheapest
+    one that can host the operators. *)
+
+val comm_partner : Insp_tree.App.t -> int -> int option
+(** The neighbour (operator child or parent) of an operator with the most
+    demanding communication requirement on the connecting tree edge;
+    [None] for an isolated root with no operator children. *)
+
+val by_work_desc : Insp_tree.App.t -> int list -> int list
+(** Sort operators by non-increasing [w_i] (ties by id for
+    determinism). *)
+
+val fill : Builder.t -> Builder.group_id -> int list -> unit
+(** [fill b gid candidates] greedily [try_add]s each still-unassigned
+    candidate, in order. *)
+
+val acquire_for :
+  Builder.t -> style:style -> int list -> (Builder.group_id, string) result
+(** Buys one processor of the requested style for the given unassigned
+    operators; fails without mutating when no configuration can host
+    them. *)
+
+val acquire_with_grouping :
+  Builder.t -> style:style -> int -> (Builder.group_id, string) result
+(** The paper's grouping fallback (Random / Comp-Greedy), applied
+    iteratively: buy a processor for [op]; while that fails, pull in the
+    candidate set's most communication-demanding neighbour — selling the
+    neighbour's current processor if it had one (its co-located operators
+    return to the unassigned pool) — and retry, up to a bounded number of
+    rounds.  Iteration (vs the paper's single pairing) is required when a
+    chain of tree edges each exceeds the processor-link bandwidth. *)
+
+val object_set : Insp_tree.App.t -> int -> int list
+(** Distinct object types operator [i] downloads. *)
+
+val with_collapse_rounds : int -> (unit -> 'a) -> 'a
+(** Run a thunk with the grouping fallback limited to the given number
+    of rounds (1 = the paper's single pairing step; default 8).  For the
+    ablation bench; restores the previous value on exit.  Not
+    thread-safe. *)

@@ -1,0 +1,29 @@
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+module Alloc = Insp_mapping.Alloc
+module Check = Insp_mapping.Check
+module Demand = Insp_mapping.Demand
+
+let run app platform alloc =
+  let catalog = platform.Platform.catalog in
+  let n = Alloc.n_procs alloc in
+  let rec shrink alloc u =
+    if u >= n then alloc
+    else begin
+      let d = Check.proc_demand app alloc u in
+      let nic_load =
+        Check.proc_download_rate app alloc u
+        +. d.Demand.comm_in +. d.Demand.comm_out
+      in
+      let alloc =
+        match
+          Catalog.cheapest_satisfying catalog ~speed:d.Demand.compute
+            ~bandwidth:nic_load
+        with
+        | Some config -> Alloc.with_config alloc u config
+        | None -> alloc (* keep the provisioned config; checker will flag *)
+      in
+      shrink alloc (u + 1)
+    end
+  in
+  shrink alloc 0

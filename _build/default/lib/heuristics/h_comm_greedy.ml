@@ -1,0 +1,108 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+
+(* All parent edges, heaviest communication first. *)
+let edges_by_weight_desc app =
+  let tree = App.tree app in
+  let edges = ref [] in
+  for i = 0 to App.n_operators app - 1 do
+    match Optree.parent tree i with
+    | None -> ()
+    | Some p -> edges := (i, p, App.rho app *. App.output_size app i) :: !edges
+  done;
+  List.sort
+    (fun (a, _, wa) (b, _, wb) ->
+      let c = compare wb wa in
+      if c <> 0 then c else compare a b)
+    !edges
+
+let place_pair b i p =
+  match Common.acquire_for b ~style:`Cheapest [ i; p ] with
+  | Ok _ -> Ok ()
+  | Error _ -> (
+    match Common.acquire_for b ~style:`Best [ i ] with
+    | Error e -> Error e
+    | Ok _ -> (
+      match Common.acquire_for b ~style:`Best [ p ] with
+      | Error e -> Error e
+      | Ok _ -> Ok ()))
+
+(* "Attempts to accommodate the other operator as well": in the
+   constructive setting the host processor may be exchanged for a larger
+   model that fits both. *)
+let place_single_next_to b ~host ~op =
+  if Builder.try_add_upgrade b host op then Ok ()
+  else
+    match Common.acquire_for b ~style:`Best [ op ] with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+
+(* Ablation knob: disable the merge sweeps to measure the paper's
+   literal one-pass edge processing.  Not thread-safe. *)
+let merge_sweeps_enabled = ref true
+
+let with_merge_sweeps enabled f =
+  let saved = !merge_sweeps_enabled in
+  merge_sweeps_enabled := enabled;
+  Fun.protect ~finally:(fun () -> merge_sweeps_enabled := saved) f
+
+(* Case (iii) of the paper: for edges whose endpoints ended up on two
+   different processors, try to accommodate both groups on one processor
+   and sell the other.  Processing edges heaviest-first means both
+   endpoints are rarely assigned when an edge is first visited, so the
+   merge case is swept repeatedly until it stops firing. *)
+let merge_sweeps b app edges =
+  let rec sweep budget =
+    if budget > 0 then begin
+      let changed =
+        List.fold_left
+          (fun acc (i, p, _) ->
+            match (Builder.assignment b i, Builder.assignment b p) with
+            | Some gi, Some gp when gi <> gp ->
+              Builder.try_absorb_upgrade b gi gp
+              || Builder.try_absorb_upgrade b gp gi
+              || acc
+            | _ -> acc)
+          false edges
+      in
+      if changed then sweep (budget - 1)
+    end
+  in
+  sweep (App.n_operators app)
+
+let run _rng app platform =
+  let b = Builder.create app platform in
+  let rec handle = function
+    | [] -> Ok ()
+    | (i, p, _) :: rest -> (
+      let step =
+        match (Builder.assignment b i, Builder.assignment b p) with
+        | None, None -> place_pair b i p
+        | Some gi, None -> place_single_next_to b ~host:gi ~op:p
+        | None, Some gp -> place_single_next_to b ~host:gp ~op:i
+        | Some gi, Some gp ->
+          if gi <> gp then
+            ignore
+              (Builder.try_absorb_upgrade b gi gp
+              || Builder.try_absorb_upgrade b gp gi);
+          Ok ()
+      in
+      match step with Error e -> Error e | Ok () -> handle rest)
+  in
+  let edges = edges_by_weight_desc app in
+  match handle edges with
+  | Error e -> Error e
+  | Ok () -> (
+    if !merge_sweeps_enabled then merge_sweeps b app edges;
+    (* Only a single-operator tree has no edges; place any leftover. *)
+    match Builder.unassigned b with
+    | [] -> Ok b
+    | leftover -> (
+      let rec place = function
+        | [] -> Ok b
+        | op :: rest -> (
+          match Common.acquire_for b ~style:`Cheapest [ op ] with
+          | Ok _ -> place rest
+          | Error e -> Error e)
+      in
+      match place leftover with Ok b -> Ok b | Error e -> Error e))

@@ -1,0 +1,23 @@
+module App = Insp_tree.App
+
+let run _rng app platform =
+  let b = Builder.create app platform in
+  (* The grouping fallback can sell a processor and release its
+     operators, so bound the number of rounds to guarantee
+     termination. *)
+  let budget = ref ((App.n_operators app * App.n_operators app) + 16) in
+  let rec loop () =
+    match Common.by_work_desc app (Builder.unassigned b) with
+    | [] -> Ok b
+    | heaviest :: _ ->
+      decr budget;
+      if !budget <= 0 then
+        Error "placement did not converge (grouping fallback oscillates)"
+      else (
+        match Common.acquire_with_grouping b ~style:`Best heaviest with
+        | Error e -> Error e
+        | Ok gid ->
+          Common.fill b gid (Common.by_work_desc app (Builder.unassigned b));
+          loop ())
+  in
+  loop ()

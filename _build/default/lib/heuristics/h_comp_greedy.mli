@@ -1,0 +1,13 @@
+(** The Comp-Greedy operator-placement heuristic (paper §4.1).
+
+    Operators are treated in non-increasing computational demand [w_i].
+    Each round buys the most expensive processor for the heaviest
+    unassigned operator (with the Random heuristic's grouping fallback if
+    it does not fit), then fills the remaining capacity with further
+    unassigned operators in non-increasing [w_i] order. *)
+
+val run :
+  Insp_util.Prng.t ->
+  Insp_tree.App.t ->
+  Insp_platform.Platform.t ->
+  (Builder.t, string) result

@@ -1,0 +1,169 @@
+module App = Insp_tree.App
+module Platform = Insp_platform.Platform
+module Servers = Insp_platform.Servers
+module Demand = Insp_mapping.Demand
+module Prng = Insp_util.Prng
+
+type plan = (int * int) list array
+
+let tolerance = 1e-9
+
+(* Mutable capacity state during selection. *)
+type state = {
+  rate : int -> float;
+  servers : Servers.t;
+  card_left : float array;  (* per server *)
+  link_left : float array array;  (* server x group *)
+  needs : (int * int) list ref;  (* (group, object) still unassigned *)
+  chosen : (int * int) list array;  (* result under construction *)
+}
+
+let init_generic ~n_groups ~rate ~servers ~server_link ~needs =
+  let n_servers = Servers.n_servers servers in
+  {
+    rate;
+    servers;
+    card_left = Array.init n_servers (fun l -> Servers.card servers l);
+    link_left = Array.init n_servers (fun _ -> Array.make n_groups server_link);
+    needs = ref needs;
+    chosen = Array.make n_groups [];
+  }
+
+let init app platform ~groups =
+  let needs =
+    Array.to_list
+      (Array.mapi
+         (fun u ops ->
+           List.map (fun k -> (u, k)) (Demand.distinct_objects app ops))
+         groups)
+    |> List.concat
+  in
+  init_generic ~n_groups:(Array.length groups)
+    ~rate:(App.download_rate app)
+    ~servers:platform.Platform.servers
+    ~server_link:platform.Platform.server_link ~needs
+
+let can_provide st l u k =
+  let rate = st.rate k in
+  Servers.holds st.servers l k
+  && st.card_left.(l) +. tolerance >= rate
+  && st.link_left.(l).(u) +. tolerance >= rate
+
+let assign st u k l =
+  let rate = st.rate k in
+  st.card_left.(l) <- st.card_left.(l) -. rate;
+  st.link_left.(l).(u) <- st.link_left.(l).(u) -. rate;
+  st.chosen.(u) <- (k, l) :: st.chosen.(u);
+  st.needs := List.filter (fun need -> need <> (u, k)) !(st.needs)
+
+let finish st = Array.map (List.sort compare) st.chosen
+
+let random rng app platform ~groups =
+  let st = init app platform ~groups in
+  let rec loop () =
+    match !(st.needs) with
+    | [] -> Ok (finish st)
+    | (u, k) :: _ -> (
+      let capable =
+        List.filter (fun l -> can_provide st l u k)
+          (Servers.providers st.servers k)
+      in
+      match capable with
+      | [] ->
+        Error
+          (Printf.sprintf "no server can still provide o%d to processor %d" k u)
+      | _ ->
+        assign st u k (Prng.choose_list rng capable);
+        loop ())
+  in
+  loop ()
+
+let sophisticated_core st =
+  let exception Failed of string in
+  try
+    (* Loop 1: forced downloads of single-server objects. *)
+    List.iter
+      (fun (k, l) ->
+        let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
+        List.iter
+          (fun (u, _) ->
+            if can_provide st l u k then assign st u k l
+            else
+              raise
+                (Failed
+                   (Printf.sprintf
+                      "exclusive server S%d cannot sustain all downloads of o%d"
+                      l k)))
+          needing)
+      (Servers.exclusive_objects st.servers);
+    (* Loop 2: saturate single-object servers. *)
+    List.iter
+      (fun l ->
+        match Servers.objects_on st.servers l with
+        | [ k ] ->
+          let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
+          List.iter
+            (fun (u, _) -> if can_provide st l u k then assign st u k l)
+            needing
+        | _ -> ())
+      (Servers.single_object_servers st.servers);
+    (* Loop 3: remaining needs, objects in decreasing nbP / nbS. *)
+    let remaining_objects =
+      List.sort_uniq compare (List.map snd !(st.needs))
+    in
+    let ratio k =
+      let nb_p =
+        List.length (List.filter (fun (_, k') -> k' = k) !(st.needs))
+      in
+      let nb_s =
+        (* Links are per processor, so judge a server's ability by its
+           remaining card capacity. *)
+        List.length
+          (List.filter
+             (fun l -> st.card_left.(l) +. tolerance >= st.rate k)
+             (Servers.providers st.servers k))
+      in
+      if nb_s = 0 then infinity else float_of_int nb_p /. float_of_int nb_s
+    in
+    let ordered =
+      List.sort
+        (fun a b ->
+          let c = compare (ratio b) (ratio a) in
+          if c <> 0 then c else compare a b)
+        remaining_objects
+    in
+    List.iter
+      (fun k ->
+        let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
+        List.iter
+          (fun (u, _) ->
+            let best =
+              Servers.providers st.servers k
+              |> List.filter (fun l -> can_provide st l u k)
+              |> List.sort (fun a b ->
+                     let key l =
+                       Float.min st.card_left.(l) st.link_left.(l).(u)
+                     in
+                     let c = compare (key b) (key a) in
+                     if c <> 0 then c else compare a b)
+            in
+            match best with
+            | l :: _ -> assign st u k l
+            | [] ->
+              raise
+                (Failed
+                   (Printf.sprintf
+                      "no server has bandwidth left to provide o%d to \
+                       processor %d"
+                      k u)))
+          needing)
+      ordered;
+    Ok (finish st)
+  with Failed msg -> Error msg
+
+let sophisticated app platform ~groups =
+  sophisticated_core (init app platform ~groups)
+
+let sophisticated_generic ~n_groups ~rate ~servers ~server_link ~needs =
+  sophisticated_core
+    (init_generic ~n_groups ~rate ~servers ~server_link ~needs)

@@ -1,0 +1,47 @@
+(** Server-selection heuristics (paper §4.2).
+
+    After placement, each processor must pick which server to download
+    each of its basic objects from, respecting server card capacity
+    (constraint (3)) and server-to-processor link capacity (constraint
+    (4)).
+
+    {!random} (used with the Random placement heuristic) draws a server
+    uniformly among the capable providers of each object.
+
+    {!sophisticated} (used with all the others) runs the paper's three
+    loops: (1) downloads of objects held by a single server are forced —
+    failure here aborts the heuristic; (2) servers carrying exactly one
+    object type absorb as many of that object's downloads as possible;
+    (3) remaining downloads are assigned treating objects in decreasing
+    [nbP/nbS] (processors still needing the object over servers still
+    able to provide it) and choosing, per download, the server with the
+    largest remaining [min(card, link)] capacity. *)
+
+type plan = (int * int) list array
+(** Per processor group: one (object type, server) pair per distinct
+    object type the group needs. *)
+
+val random :
+  Insp_util.Prng.t ->
+  Insp_tree.App.t ->
+  Insp_platform.Platform.t ->
+  groups:int list array ->
+  (plan, string) result
+
+val sophisticated :
+  Insp_tree.App.t ->
+  Insp_platform.Platform.t ->
+  groups:int list array ->
+  (plan, string) result
+
+val sophisticated_generic :
+  n_groups:int ->
+  rate:(int -> float) ->
+  servers:Insp_platform.Servers.t ->
+  server_link:float ->
+  needs:(int * int) list ->
+  (plan, string) result
+(** Application-independent core of {!sophisticated}: [needs] lists the
+    [(group, object type)] downloads to source, [rate k] is the
+    bandwidth each download of object [k] consumes.  Used by the
+    multi-application DAG extension. *)

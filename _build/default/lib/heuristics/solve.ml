@@ -1,0 +1,98 @@
+module App = Insp_tree.App
+module Platform = Insp_platform.Platform
+module Alloc = Insp_mapping.Alloc
+module Check = Insp_mapping.Check
+module Cost = Insp_mapping.Cost
+module Prng = Insp_util.Prng
+
+type heuristic = {
+  name : string;
+  key : string;
+  run :
+    Prng.t -> App.t -> Platform.t -> (Builder.t, string) result;
+  randomized : bool;
+}
+
+let all =
+  [
+    { name = "Random"; key = "random"; run = H_random.run; randomized = true };
+    {
+      name = "Comp-Greedy";
+      key = "comp";
+      run = H_comp_greedy.run;
+      randomized = false;
+    };
+    {
+      name = "Comm-Greedy";
+      key = "comm";
+      run = H_comm_greedy.run;
+      randomized = false;
+    };
+    {
+      name = "Subtree-bottom-up";
+      key = "sbu";
+      run = H_subtree.run;
+      randomized = false;
+    };
+    {
+      name = "Object-Grouping";
+      key = "objgroup";
+      run = H_object_grouping.run;
+      randomized = false;
+    };
+    {
+      name = "Object-Availability";
+      key = "objavail";
+      run = H_object_availability.run;
+      randomized = false;
+    };
+  ]
+
+let find ident =
+  let ident = String.lowercase_ascii ident in
+  List.find_opt
+    (fun h -> h.key = ident || String.lowercase_ascii h.name = ident)
+    all
+
+type outcome = { alloc : Alloc.t; cost : float; n_procs : int }
+
+type failure =
+  | Placement of string
+  | Server_selection of string
+  | Validation of string
+
+let failure_message = function
+  | Placement m -> "placement failed: " ^ m
+  | Server_selection m -> "server selection failed: " ^ m
+  | Validation m -> "validation failed: " ^ m
+
+let run ?(seed = 0) heuristic app platform =
+  let rng = Prng.create seed in
+  match heuristic.run rng app platform with
+  | Error msg -> Error (Placement msg)
+  | Ok builder -> (
+    match Builder.finalize builder with
+    | Error msg -> Error (Placement msg)
+    | Ok (groups, configs) -> (
+      let selection =
+        if heuristic.randomized then
+          Server_select.random rng app platform ~groups
+        else Server_select.sophisticated app platform ~groups
+      in
+      match selection with
+      | Error msg -> Error (Server_selection msg)
+      | Ok downloads -> (
+        let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+        let alloc = Downgrade.run app platform alloc in
+        match Check.check app platform alloc with
+        | [] ->
+          Ok
+            {
+              alloc;
+              cost = Cost.of_alloc platform.Platform.catalog alloc;
+              n_procs = Alloc.n_procs alloc;
+            }
+        | violations -> Error (Validation (Check.explain violations)))))
+
+let run_all ?(seed = 0) app platform =
+  List.map (fun h -> (h, run ~seed h app platform)) all

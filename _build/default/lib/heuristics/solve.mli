@@ -1,0 +1,58 @@
+(** End-to-end heuristic solver: operator placement, then server
+    selection, then downgrade, then validation (paper §4).
+
+    Every returned {!outcome} has passed the full constraint checker
+    ({!Insp_mapping.Check}); a heuristic that cannot produce a feasible
+    allocation reports a {!failure} with the stage that gave up. *)
+
+type heuristic = {
+  name : string;  (** paper name, e.g. "Subtree-bottom-up" *)
+  key : string;  (** short CLI identifier, e.g. "sbu" *)
+  run :
+    Insp_util.Prng.t ->
+    Insp_tree.App.t ->
+    Insp_platform.Platform.t ->
+    (Builder.t, string) result;
+  randomized : bool;
+      (** true when results depend on the PRNG (Random heuristic and its
+          random server selection) *)
+}
+
+val all : heuristic list
+(** The paper's six heuristics, in the paper's order: Random,
+    Comp-Greedy, Comm-Greedy, Subtree-bottom-up, Object-Grouping,
+    Object-Availability. *)
+
+val find : string -> heuristic option
+(** Lookup by [key] or [name] (case-insensitive). *)
+
+type outcome = {
+  alloc : Insp_mapping.Alloc.t;
+  cost : float;
+  n_procs : int;
+}
+
+type failure =
+  | Placement of string
+  | Server_selection of string
+  | Validation of string
+      (** internal invariant breach: placement and selection succeeded
+          but the checker rejected the allocation *)
+
+val failure_message : failure -> string
+
+val run :
+  ?seed:int ->
+  heuristic ->
+  Insp_tree.App.t ->
+  Insp_platform.Platform.t ->
+  (outcome, failure) result
+(** Runs the full pipeline.  [seed] (default 0) feeds the PRNG of
+    randomized stages; deterministic heuristics ignore it. *)
+
+val run_all :
+  ?seed:int ->
+  Insp_tree.App.t ->
+  Insp_platform.Platform.t ->
+  (heuristic * (outcome, failure) result) list
+(** Every heuristic on the same instance. *)

@@ -1,0 +1,1 @@
+lib/lp/exact.ml: Array Float Insp_heuristics Insp_mapping Insp_platform Insp_tree List

@@ -1,0 +1,1 @@
+lib/lp/exact.mli: Insp_mapping Insp_platform Insp_tree Stdlib

@@ -1,0 +1,1 @@
+lib/lp/ilp_model.ml: Array Hashtbl Insp_platform Insp_tree List Milp Simplex

@@ -1,0 +1,1 @@
+lib/lp/ilp_model.mli: Insp_platform Insp_tree Milp

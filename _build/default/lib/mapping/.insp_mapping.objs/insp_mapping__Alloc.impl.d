@@ -1,0 +1,1 @@
+lib/mapping/alloc.ml: Array Format Hashtbl Insp_platform List Printf String

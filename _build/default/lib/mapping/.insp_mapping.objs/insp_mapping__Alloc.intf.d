@@ -1,0 +1,1 @@
+lib/mapping/alloc.mli: Format Insp_platform

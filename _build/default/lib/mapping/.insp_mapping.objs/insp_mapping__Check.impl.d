@@ -1,0 +1,1 @@
+lib/mapping/check.ml: Alloc Demand Format Insp_platform Insp_tree List String

@@ -1,0 +1,1 @@
+lib/mapping/check.mli: Alloc Demand Format Insp_platform Insp_tree

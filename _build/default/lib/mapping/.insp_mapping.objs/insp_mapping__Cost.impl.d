@@ -1,0 +1,1 @@
+lib/mapping/cost.ml: Alloc Array Float Insp_platform Insp_tree List

@@ -1,0 +1,1 @@
+lib/mapping/cost.mli: Alloc Insp_platform Insp_tree

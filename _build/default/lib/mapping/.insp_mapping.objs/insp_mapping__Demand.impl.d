@@ -1,0 +1,1 @@
+lib/mapping/demand.ml: Float Format Insp_platform Insp_tree List

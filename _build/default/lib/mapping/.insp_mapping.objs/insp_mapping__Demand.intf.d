@@ -1,0 +1,1 @@
+lib/mapping/demand.mli: Format Insp_platform Insp_tree

@@ -1,0 +1,83 @@
+type proc = {
+  config : Insp_platform.Catalog.config;
+  operators : int list;
+  downloads : (int * int) list;
+}
+
+type t = { procs : proc array; assign : (int, int) Hashtbl.t }
+
+let normalize_proc p =
+  let operators = List.sort_uniq compare p.operators in
+  if List.length operators <> List.length p.operators then
+    invalid_arg "Alloc.make: duplicate operator on one processor";
+  let downloads = List.sort compare p.downloads in
+  let object_types = List.map fst downloads in
+  if List.length (List.sort_uniq compare object_types) <> List.length downloads
+  then invalid_arg "Alloc.make: duplicate object type in a download plan";
+  { p with operators; downloads }
+
+let make procs =
+  let procs = Array.map normalize_proc procs in
+  let assign = Hashtbl.create 64 in
+  Array.iteri
+    (fun u p ->
+      List.iter
+        (fun i ->
+          if Hashtbl.mem assign i then
+            invalid_arg "Alloc.make: operator assigned to two processors";
+          Hashtbl.add assign i u)
+        p.operators)
+    procs;
+  { procs; assign }
+
+let of_groups ~configs ~groups ~downloads =
+  let n = Array.length configs in
+  if Array.length groups <> n || Array.length downloads <> n then
+    invalid_arg "Alloc.of_groups: array length mismatch";
+  make
+    (Array.init n (fun u ->
+         { config = configs.(u); operators = groups.(u); downloads = downloads.(u) }))
+
+let n_procs t = Array.length t.procs
+let proc t u = t.procs.(u)
+let procs t = Array.copy t.procs
+let assignment t i = Hashtbl.find_opt t.assign i
+let operators_of t u = t.procs.(u).operators
+let downloads_of t u = t.procs.(u).downloads
+let n_operators_assigned t = Hashtbl.length t.assign
+
+let all_downloads t =
+  let acc = ref [] in
+  Array.iteri
+    (fun u p -> List.iter (fun (k, l) -> acc := (u, k, l) :: !acc) p.downloads)
+    t.procs;
+  List.rev !acc
+
+let with_config t u config =
+  let procs = Array.copy t.procs in
+  procs.(u) <- { procs.(u) with config };
+  { t with procs }
+
+let with_downloads t downloads =
+  if Array.length downloads <> Array.length t.procs then
+    invalid_arg "Alloc.with_downloads: array length mismatch";
+  let procs =
+    Array.mapi
+      (fun u p -> normalize_proc { p with downloads = downloads.(u) })
+      t.procs
+  in
+  { t with procs }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d processors@ " (Array.length t.procs);
+  Array.iteri
+    (fun u p ->
+      Format.fprintf ppf "P%d (%a): ops {%s}, downloads {%s}@ " u
+        Insp_platform.Catalog.pp_config p.config
+        (String.concat ", " (List.map string_of_int p.operators))
+        (String.concat ", "
+           (List.map
+              (fun (k, l) -> Printf.sprintf "o%d<-S%d" k l)
+              p.downloads)))
+    t.procs;
+  Format.fprintf ppf "@]"

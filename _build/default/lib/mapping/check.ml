@@ -1,0 +1,190 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Platform = Insp_platform.Platform
+module Servers = Insp_platform.Servers
+
+type violation =
+  | Unassigned_operator of int
+  | Missing_download of { proc : int; object_type : int }
+  | Extraneous_download of { proc : int; object_type : int }
+  | Not_held of { proc : int; object_type : int; server : int }
+  | Compute_overload of { proc : int; load : float; capacity : float }
+  | Nic_overload of { proc : int; load : float; capacity : float }
+  | Server_card_overload of { server : int; load : float; capacity : float }
+  | Server_link_overload of {
+      server : int;
+      proc : int;
+      load : float;
+      capacity : float;
+    }
+  | Proc_link_overload of {
+      proc_a : int;
+      proc_b : int;
+      load : float;
+      capacity : float;
+    }
+
+let tolerance = 1e-9
+
+let exceeds load capacity = load > capacity *. (1.0 +. tolerance) +. tolerance
+
+let proc_demand app alloc u = Demand.of_group app (Alloc.operators_of alloc u)
+
+let proc_download_rate app alloc u =
+  List.fold_left
+    (fun acc (k, _) -> acc +. App.download_rate app k)
+    0.0
+    (Alloc.downloads_of alloc u)
+
+let pair_flow app alloc u v =
+  let tree = App.tree app in
+  let rho = App.rho app in
+  let flow_into host other =
+    (* Children of operators on [host] that live on [other]. *)
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc j ->
+            if Alloc.assignment alloc j = Some other then
+              acc +. (rho *. App.output_size app j)
+            else acc)
+          acc (Optree.children tree i))
+      0.0
+      (Alloc.operators_of alloc host)
+  in
+  flow_into u v +. flow_into v u
+
+let structural_violations app platform alloc =
+  let servers = platform.Platform.servers in
+  let acc = ref [] in
+  let add v = acc := v :: !acc in
+  for i = 0 to App.n_operators app - 1 do
+    if Alloc.assignment alloc i = None then add (Unassigned_operator i)
+  done;
+  for u = 0 to Alloc.n_procs alloc - 1 do
+    let needed = Demand.distinct_objects app (Alloc.operators_of alloc u) in
+    let planned = Alloc.downloads_of alloc u in
+    let planned_types = List.map fst planned in
+    List.iter
+      (fun k ->
+        if not (List.mem k planned_types) then
+          add (Missing_download { proc = u; object_type = k }))
+      needed;
+    List.iter
+      (fun (k, l) ->
+        if not (List.mem k needed) then
+          add (Extraneous_download { proc = u; object_type = k });
+        if
+          l < 0
+          || l >= Servers.n_servers servers
+          || not (Servers.holds servers l k)
+        then add (Not_held { proc = u; object_type = k; server = l }))
+      planned
+  done;
+  List.rev !acc
+
+let capacity_violations app platform alloc =
+  let servers = platform.Platform.servers in
+  let n_procs = Alloc.n_procs alloc in
+  let acc = ref [] in
+  let add v = acc := v :: !acc in
+  (* Constraints (1) and (2), per processor.  The NIC download term uses
+     the actual download plan, which coincides with the demand's distinct
+     object set once the plan is structurally valid. *)
+  for u = 0 to n_procs - 1 do
+    let p = Alloc.proc alloc u in
+    let d = proc_demand app alloc u in
+    let config = p.Alloc.config in
+    if exceeds d.Demand.compute config.cpu.speed then
+      add
+        (Compute_overload
+           { proc = u; load = d.Demand.compute; capacity = config.cpu.speed });
+    let nic_load =
+      proc_download_rate app alloc u +. d.Demand.comm_in +. d.Demand.comm_out
+    in
+    if exceeds nic_load config.nic.bandwidth then
+      add
+        (Nic_overload
+           { proc = u; load = nic_load; capacity = config.nic.bandwidth })
+  done;
+  (* Constraints (3) and (4), per server (and per server-processor
+     link). *)
+  for l = 0 to Servers.n_servers servers - 1 do
+    let total = ref 0.0 in
+    for u = 0 to n_procs - 1 do
+      let link_load =
+        List.fold_left
+          (fun acc (k, l') ->
+            if l' = l then acc +. App.download_rate app k else acc)
+          0.0
+          (Alloc.downloads_of alloc u)
+      in
+      total := !total +. link_load;
+      if exceeds link_load platform.Platform.server_link then
+        add
+          (Server_link_overload
+             {
+               server = l;
+               proc = u;
+               load = link_load;
+               capacity = platform.Platform.server_link;
+             })
+    done;
+    if exceeds !total (Servers.card servers l) then
+      add
+        (Server_card_overload
+           { server = l; load = !total; capacity = Servers.card servers l })
+  done;
+  (* Constraint (5), per processor pair. *)
+  for u = 0 to n_procs - 1 do
+    for v = u + 1 to n_procs - 1 do
+      let flow = pair_flow app alloc u v in
+      if exceeds flow platform.Platform.proc_link then
+        add
+          (Proc_link_overload
+             {
+               proc_a = u;
+               proc_b = v;
+               load = flow;
+               capacity = platform.Platform.proc_link;
+             })
+    done
+  done;
+  List.rev !acc
+
+let check app platform alloc =
+  let structural = structural_violations app platform alloc in
+  structural @ capacity_violations app platform alloc
+
+let is_feasible app platform alloc = check app platform alloc = []
+
+let pp_violation ppf = function
+  | Unassigned_operator i -> Format.fprintf ppf "operator n%d is unassigned" i
+  | Missing_download { proc; object_type } ->
+    Format.fprintf ppf "P%d misses a download source for o%d" proc object_type
+  | Extraneous_download { proc; object_type } ->
+    Format.fprintf ppf "P%d downloads o%d which no hosted operator needs" proc
+      object_type
+  | Not_held { proc; object_type; server } ->
+    Format.fprintf ppf "P%d downloads o%d from S%d which does not hold it" proc
+      object_type server
+  | Compute_overload { proc; load; capacity } ->
+    Format.fprintf ppf "P%d compute overload: %.1f > %.1f Mops/s" proc load
+      capacity
+  | Nic_overload { proc; load; capacity } ->
+    Format.fprintf ppf "P%d NIC overload: %.1f > %.1f MB/s" proc load capacity
+  | Server_card_overload { server; load; capacity } ->
+    Format.fprintf ppf "S%d card overload: %.1f > %.1f MB/s" server load
+      capacity
+  | Server_link_overload { server; proc; load; capacity } ->
+    Format.fprintf ppf "link S%d->P%d overload: %.1f > %.1f MB/s" server proc
+      load capacity
+  | Proc_link_overload { proc_a; proc_b; load; capacity } ->
+    Format.fprintf ppf "link P%d<->P%d overload: %.1f > %.1f MB/s" proc_a
+      proc_b load capacity
+
+let explain = function
+  | [] -> "feasible"
+  | violations ->
+    String.concat "\n"
+      (List.map (Format.asprintf "%a" pp_violation) violations)

@@ -1,0 +1,39 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Catalog = Insp_platform.Catalog
+
+let of_alloc catalog alloc =
+  Array.fold_left
+    (fun acc (p : Alloc.proc) -> acc +. Catalog.config_cost catalog p.config)
+    0.0 (Alloc.procs alloc)
+
+let per_proc catalog alloc =
+  Array.map
+    (fun (p : Alloc.proc) -> Catalog.config_cost catalog p.config)
+    (Alloc.procs alloc)
+
+let ceil_div x y = int_of_float (Float.ceil (x /. y))
+
+let lower_bound_processors app catalog =
+  let best = Catalog.best catalog in
+  let rho = App.rho app in
+  let total_compute = rho *. App.total_work app in
+  let compute_lb = ceil_div total_compute best.cpu.speed in
+  (* Every distinct object type used by the tree must be downloaded by at
+     least one processor, whatever the grouping. *)
+  let tree = App.tree app in
+  let distinct_types =
+    Optree.leaf_instances tree |> List.map snd |> List.sort_uniq compare
+  in
+  let total_download =
+    List.fold_left
+      (fun acc k -> acc +. App.download_rate app k)
+      0.0 distinct_types
+  in
+  let nic_lb = ceil_div total_download best.nic.bandwidth in
+  max 1 (max compute_lb nic_lb)
+
+let lower_bound_cost app catalog =
+  let cheapest = Catalog.cheapest catalog in
+  float_of_int (lower_bound_processors app catalog)
+  *. Catalog.config_cost catalog cheapest

@@ -1,0 +1,1 @@
+lib/multi/cse.ml: Dag Format Hashtbl Insp_tree List

@@ -1,0 +1,1 @@
+lib/multi/cse.mli: Dag Format Insp_tree

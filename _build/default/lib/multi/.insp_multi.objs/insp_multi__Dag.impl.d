@@ -1,0 +1,1 @@
+lib/multi/dag.ml: Array Float Format Fun Hashtbl Insp_tree List Option Printf String

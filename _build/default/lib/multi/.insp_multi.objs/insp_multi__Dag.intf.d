@@ -1,0 +1,1 @@
+lib/multi/dag.mli: Format Insp_tree

@@ -1,0 +1,1 @@
+lib/multi/dag_check.ml: Dag Float Insp_mapping Insp_platform Insp_tree List

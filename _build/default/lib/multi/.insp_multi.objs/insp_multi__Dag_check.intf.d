@@ -1,0 +1,1 @@
+lib/multi/dag_check.mli: Dag Insp_mapping Insp_platform

@@ -1,0 +1,1 @@
+lib/multi/dag_place.ml: Array Dag Dag_check Float Hashtbl Insp_heuristics Insp_mapping Insp_platform Insp_tree List Option Printf String

@@ -1,0 +1,1 @@
+lib/multi/dag_runtime.ml: Array Dag Float Hashtbl Insp_mapping Insp_platform Insp_sim Insp_tree Insp_util List

@@ -1,0 +1,1 @@
+lib/multi/dag_runtime.mli: Dag Insp_mapping Insp_platform Insp_sim

@@ -1,0 +1,1 @@
+lib/multi/multi_workload.ml: Array Insp_platform Insp_tree Insp_util Insp_workload List

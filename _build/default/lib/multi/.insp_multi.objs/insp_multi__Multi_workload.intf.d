@@ -1,0 +1,1 @@
+lib/multi/multi_workload.mli: Insp_platform Insp_tree Insp_util Insp_workload

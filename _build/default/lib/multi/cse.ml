@@ -1,0 +1,132 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Objects = Insp_tree.Objects
+
+(* Canonical form of a computation: an object type, or the sorted list
+   of its inputs' canonical forms (commutativity = order-insensitivity;
+   the binary tree shape itself is preserved, so this is hash-consing of
+   equal subtrees, not full associative reassociation — see
+   Insp_rewrite for shape changes). *)
+type key = Leaf of int | Combine of key list
+
+let rec compare_key a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> compare x y
+  | Leaf _, Combine _ -> -1
+  | Combine _, Leaf _ -> 1
+  | Combine xs, Combine ys -> List.compare compare_key xs ys
+
+let share ~objects ~alpha ?(base_work = 0.0) ?(work_factor = 1.0) ~trees () =
+  (match trees with
+  | [] -> invalid_arg "Cse.share: no applications"
+  | _ -> ());
+  let n_object_types = Objects.count objects in
+  let builder = Dag.create_builder ~n_object_types in
+  let table : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  let intern key inputs =
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+      let id = Dag.add_node builder ~inputs in
+      Hashtbl.replace table key id;
+      id
+  in
+  let share_tree tree =
+    (* Bottom-up: children interned before parents. *)
+    let node_key = Hashtbl.create 32 in
+    let node_id = Hashtbl.create 32 in
+    List.iter
+      (fun op ->
+        let leaf_inputs =
+          List.map (fun k -> (Leaf k, Dag.Object k)) (Optree.leaves tree op)
+        in
+        let child_inputs =
+          List.map
+            (fun c ->
+              (Hashtbl.find node_key c, Dag.Node (Hashtbl.find node_id c)))
+            (Optree.children tree op)
+        in
+        let all = leaf_inputs @ child_inputs in
+        let key = Combine (List.sort compare_key (List.map fst all)) in
+        let id = intern key (List.map snd all) in
+        Hashtbl.replace node_key op key;
+        Hashtbl.replace node_id op id)
+      (Optree.postorder tree);
+    Hashtbl.find node_id (Optree.root tree)
+  in
+  let roots =
+    List.map (fun (tree, rho) -> (share_tree tree, rho)) trees
+  in
+  Dag.finish builder ~objects ~alpha ~base_work ~work_factor ~roots ()
+
+let share_apps apps =
+  match apps with
+  | [] -> invalid_arg "Cse.share_apps: no applications"
+  | first :: rest ->
+    let same_setup a =
+      App.alpha a = App.alpha first
+      && App.base_work a = App.base_work first
+      && App.work_factor a = App.work_factor first
+    in
+    if not (List.for_all same_setup rest) then
+      invalid_arg "Cse.share_apps: applications disagree on work model";
+    share
+      ~objects:(App.objects first)
+      ~alpha:(App.alpha first) ~base_work:(App.base_work first)
+      ~work_factor:(App.work_factor first)
+      ~trees:(List.map (fun a -> (App.tree a, App.rho a)) apps)
+      ()
+
+type savings = {
+  unshared_nodes : int;
+  shared_nodes : int;
+  unshared_work : float;
+  shared_work : float;
+  unshared_downloads : float;
+  shared_downloads : float;
+}
+
+let dag_work dag =
+  List.fold_left
+    (fun acc i ->
+      let n = Dag.node dag i in
+      acc +. (n.Dag.rate *. n.Dag.work))
+    0.0 (Dag.topological dag)
+
+let dag_downloads dag objects =
+  (* One download per (node, distinct object input). *)
+  List.fold_left
+    (fun acc i ->
+      Dag.inputs dag i
+      |> List.filter_map (function Dag.Object k -> Some k | Dag.Node _ -> None)
+      |> List.sort_uniq compare
+      |> List.fold_left (fun acc k -> acc +. Objects.rate objects k) acc)
+    0.0 (Dag.topological dag)
+
+let savings apps =
+  match apps with
+  | [] -> invalid_arg "Cse.savings: no applications"
+  | first :: _ ->
+    let objects = App.objects first in
+    let unshared = Dag.of_apps apps in
+    let shared = share_apps apps in
+    {
+      unshared_nodes = Dag.n_nodes unshared;
+      shared_nodes = Dag.n_nodes shared;
+      unshared_work = dag_work unshared;
+      shared_work = dag_work shared;
+      unshared_downloads = dag_downloads unshared objects;
+      shared_downloads = dag_downloads shared objects;
+    }
+
+let pp_savings ppf s =
+  let pct a b = if a > 0.0 then 100.0 *. (a -. b) /. a else 0.0 in
+  Format.fprintf ppf
+    "@[<v>nodes: %d -> %d (-%.0f%%)@ compute: %.0f -> %.0f Mops/s \
+     (-%.1f%%)@ downloads: %.1f -> %.1f MB/s (-%.1f%%)@]"
+    s.unshared_nodes s.shared_nodes
+    (pct (float_of_int s.unshared_nodes) (float_of_int s.shared_nodes))
+    s.unshared_work s.shared_work
+    (pct s.unshared_work s.shared_work)
+    s.unshared_downloads s.shared_downloads
+    (pct s.unshared_downloads s.shared_downloads)

@@ -1,0 +1,91 @@
+(** Operator DAGs for concurrent applications (paper §6, future work):
+    "the study of the case when multiple applications must be executed
+    simultaneously so that a given throughput must be achieved for each
+    application.  In this case a clear opportunity for higher performance
+    with a reduced cost is the reuse of common sub-expressions between
+    trees."
+
+    A DAG node is an operator with up to two inputs (basic objects or
+    other nodes) and {e one or more} consumers: other nodes and/or
+    application roots.  Each application demands its own throughput; a
+    shared node must therefore be evaluated at the {e maximum} rate of
+    its consumers (a faster consumer cannot reuse stale slower-rate
+    results, while a slower consumer can subsample a faster stream).
+
+    Nodes are identified by dense ids; ids are in topological order
+    (inputs before consumers). *)
+
+type input = Object of int | Node of int
+
+type node = private {
+  id : int;
+  inputs : input list;  (** 1 or 2 entries *)
+  rate : float;  (** evaluations per second this node must sustain *)
+  work : float;  (** Mops per evaluation *)
+  output : float;  (** MB per evaluation *)
+}
+
+type t
+
+val n_nodes : t -> int
+
+val objects : t -> Insp_tree.Objects.t
+(** The shared basic-object catalog. *)
+
+val node : t -> int -> node
+val inputs : t -> int -> input list
+
+val consumers : t -> int -> int list
+(** Node ids consuming this node's output (excluding application
+    sinks). *)
+
+val roots : t -> (int * float) list
+(** One [(node, rho)] per application, in application order. *)
+
+val object_users : t -> int -> int list
+(** Nodes that download object type [k] directly. *)
+
+val n_object_types : t -> int
+
+val topological : t -> int list
+(** All ids, inputs before consumers. *)
+
+val is_al_node : t -> int -> bool
+
+val validate : t -> (unit, string) result
+(** Checks arity, topological id order, rate consistency (every node's
+    rate equals the max over its consumers' rates and the rhos of the
+    applications it feeds) and acyclicity. *)
+
+(** {2 Construction} *)
+
+type builder
+
+val create_builder : n_object_types:int -> builder
+
+val add_node : builder -> inputs:input list -> int
+(** Appends a node (mutating the builder) and returns its id.  Inputs
+    must reference existing nodes or valid object types; 1 or 2 inputs. *)
+
+val finish :
+  builder ->
+  objects:Insp_tree.Objects.t ->
+  alpha:float ->
+  ?base_work:float ->
+  ?work_factor:float ->
+  roots:(int * float) list ->
+  unit ->
+  t
+(** Computes output sizes and work bottom-up with the standard model
+    [w = base_work + work_factor * (sum of input sizes)^alpha], and each
+    node's rate as the maximum over its consumers' rates and the rhos of
+    the applications it feeds.  Raises [Invalid_argument] on dangling
+    ids, empty or non-positive-rho roots, or nodes feeding nothing. *)
+
+val of_apps : Insp_tree.App.t list -> t
+(** Translate independent applications into one DAG {e without} any
+    sharing (each tree keeps its own nodes).  All applications must use
+    the same object catalog, alpha and work constants.  Baseline for the
+    CSE comparison. *)
+
+val pp : Format.formatter -> t -> unit

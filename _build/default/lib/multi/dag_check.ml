@@ -1,0 +1,214 @@
+module Objects = Insp_tree.Objects
+module Platform = Insp_platform.Platform
+module Servers = Insp_platform.Servers
+module Catalog = Insp_platform.Catalog
+module Alloc = Insp_mapping.Alloc
+module Check = Insp_mapping.Check
+
+type demand = {
+  compute : float;
+  download : float;
+  comm_in : float;
+  comm_out : float;
+}
+
+let nic d = d.download +. d.comm_in +. d.comm_out
+
+let distinct_objects dag group =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (function Dag.Object k -> Some k | Dag.Node _ -> None)
+        (Dag.inputs dag i))
+    group
+  |> List.sort_uniq compare
+
+(* Producers outside the group feeding members, with the fastest
+   consuming rate inside the group. *)
+let external_sources dag group =
+  let in_group i = List.mem i group in
+  List.fold_left
+    (fun acc i ->
+      let rate_i = (Dag.node dag i).Dag.rate in
+      List.fold_left
+        (fun acc input ->
+          match input with
+          | Dag.Object _ -> acc
+          | Dag.Node j ->
+            if in_group j then acc
+            else
+              let prev = try List.assoc j acc with Not_found -> 0.0 in
+              (j, Float.max rate_i prev) :: List.remove_assoc j acc)
+        acc (Dag.inputs dag i))
+    [] group
+
+let group_demand dag group =
+  let group = List.sort_uniq compare group in
+  let in_group i = List.mem i group in
+  let objects = Dag.objects dag in
+  let compute =
+    List.fold_left
+      (fun acc i ->
+        let n = Dag.node dag i in
+        acc +. (n.Dag.rate *. n.Dag.work))
+      0.0 group
+  in
+  let download =
+    List.fold_left
+      (fun acc k -> acc +. Objects.rate objects k)
+      0.0 (distinct_objects dag group)
+  in
+  let comm_in =
+    List.fold_left
+      (fun acc (j, rate) -> acc +. ((Dag.node dag j).Dag.output *. rate))
+      0.0 (external_sources dag group)
+  in
+  (* Conservative: one stream per external consumer. *)
+  let comm_out =
+    List.fold_left
+      (fun acc i ->
+        let out = (Dag.node dag i).Dag.output in
+        List.fold_left
+          (fun acc c ->
+            if in_group c then acc
+            else acc +. (out *. (Dag.node dag c).Dag.rate))
+          acc (Dag.consumers dag i))
+      0.0 group
+  in
+  { compute; download; comm_in; comm_out }
+
+(* Streams leaving processor [u]: one per (producer on u, destination
+   processor), at the max rate of the destination's consumers. *)
+let outgoing_streams dag alloc u =
+  List.concat_map
+    (fun i ->
+      let out = (Dag.node dag i).Dag.output in
+      let per_dest =
+        List.fold_left
+          (fun acc c ->
+            match Alloc.assignment alloc c with
+            | Some v when v <> u ->
+              let rate = (Dag.node dag c).Dag.rate in
+              let prev = try List.assoc v acc with Not_found -> 0.0 in
+              (v, Float.max rate prev) :: List.remove_assoc v acc
+            | Some _ | None -> acc)
+          [] (Dag.consumers dag i)
+      in
+      List.map (fun (v, rate) -> (i, v, out *. rate)) per_dest)
+    (Alloc.operators_of alloc u)
+
+let proc_demand dag alloc u =
+  let group = Alloc.operators_of alloc u in
+  let d = group_demand dag group in
+  let comm_out =
+    List.fold_left (fun acc (_, _, f) -> acc +. f) 0.0
+      (outgoing_streams dag alloc u)
+  in
+  { d with comm_out }
+
+let pair_flow dag alloc u v =
+  let one_way src dst =
+    List.fold_left
+      (fun acc (_, dest, f) -> if dest = dst then acc +. f else acc)
+      0.0
+      (outgoing_streams dag alloc src)
+  in
+  one_way u v +. one_way v u
+
+let tolerance = 1e-9
+let exceeds load cap = load > cap *. (1.0 +. tolerance) +. tolerance
+
+let check dag platform alloc =
+  let servers = platform.Platform.servers in
+  let objects = Dag.objects dag in
+  let n_procs = Alloc.n_procs alloc in
+  let acc = ref [] in
+  let add v = acc := v :: !acc in
+  (* structural *)
+  for i = 0 to Dag.n_nodes dag - 1 do
+    if Alloc.assignment alloc i = None then add (Check.Unassigned_operator i)
+  done;
+  for u = 0 to n_procs - 1 do
+    let needed = distinct_objects dag (Alloc.operators_of alloc u) in
+    let planned = Alloc.downloads_of alloc u in
+    let planned_types = List.map fst planned in
+    List.iter
+      (fun k ->
+        if not (List.mem k planned_types) then
+          add (Check.Missing_download { proc = u; object_type = k }))
+      needed;
+    List.iter
+      (fun (k, l) ->
+        if not (List.mem k needed) then
+          add (Check.Extraneous_download { proc = u; object_type = k });
+        if l < 0 || l >= Servers.n_servers servers || not (Servers.holds servers l k)
+        then add (Check.Not_held { proc = u; object_type = k; server = l }))
+      planned
+  done;
+  (* (1) and (2) *)
+  for u = 0 to n_procs - 1 do
+    let config = (Alloc.proc alloc u).Alloc.config in
+    let d = proc_demand dag alloc u in
+    if exceeds d.compute config.Catalog.cpu.Catalog.speed then
+      add
+        (Check.Compute_overload
+           { proc = u; load = d.compute; capacity = config.Catalog.cpu.Catalog.speed });
+    let planned_rate =
+      List.fold_left
+        (fun acc (k, _) -> acc +. Objects.rate objects k)
+        0.0 (Alloc.downloads_of alloc u)
+    in
+    let nic_load = planned_rate +. d.comm_in +. d.comm_out in
+    if exceeds nic_load config.Catalog.nic.Catalog.bandwidth then
+      add
+        (Check.Nic_overload
+           {
+             proc = u;
+             load = nic_load;
+             capacity = config.Catalog.nic.Catalog.bandwidth;
+           })
+  done;
+  (* (3) and (4) *)
+  for l = 0 to Servers.n_servers servers - 1 do
+    let total = ref 0.0 in
+    for u = 0 to n_procs - 1 do
+      let link_load =
+        List.fold_left
+          (fun acc (k, l') ->
+            if l' = l then acc +. Objects.rate objects k else acc)
+          0.0 (Alloc.downloads_of alloc u)
+      in
+      total := !total +. link_load;
+      if exceeds link_load platform.Platform.server_link then
+        add
+          (Check.Server_link_overload
+             {
+               server = l;
+               proc = u;
+               load = link_load;
+               capacity = platform.Platform.server_link;
+             })
+    done;
+    if exceeds !total (Servers.card servers l) then
+      add
+        (Check.Server_card_overload
+           { server = l; load = !total; capacity = Servers.card servers l })
+  done;
+  (* (5) *)
+  for u = 0 to n_procs - 1 do
+    for v = u + 1 to n_procs - 1 do
+      let flow = pair_flow dag alloc u v in
+      if exceeds flow platform.Platform.proc_link then
+        add
+          (Check.Proc_link_overload
+             {
+               proc_a = u;
+               proc_b = v;
+               load = flow;
+               capacity = platform.Platform.proc_link;
+             })
+    done
+  done;
+  List.rev !acc
+
+let is_feasible dag platform alloc = check dag platform alloc = []

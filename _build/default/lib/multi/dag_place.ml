@@ -1,0 +1,393 @@
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+module Alloc = Insp_mapping.Alloc
+module Cost = Insp_mapping.Cost
+module Server_select = Insp_heuristics.Server_select
+module Objects = Insp_tree.Objects
+
+type outcome = { alloc : Alloc.t; cost : float; n_procs : int }
+
+type failure =
+  | Placement of string
+  | Server_selection of string
+  | Validation of string
+
+let failure_message = function
+  | Placement m -> "placement failed: " ^ m
+  | Server_selection m -> "server selection failed: " ^ m
+  | Validation m -> "validation failed: " ^ m
+
+let tolerance = 1e-9
+let leq v cap = v <= cap *. (1.0 +. tolerance) +. tolerance
+
+(* ------------------------------------------------------------------ *)
+(* Mutable placement state (the DAG analogue of Insp.Builder)          *)
+
+type group = { mutable members : int list; mutable cfg : Catalog.config }
+
+type state = {
+  dag : Dag.t;
+  platform : Platform.t;
+  groups : (int, group) Hashtbl.t;
+  mutable order : int list;  (* reversed acquisition order *)
+  mutable next_id : int;
+  assign : int option array;
+}
+
+let create dag platform =
+  {
+    dag;
+    platform;
+    groups = Hashtbl.create 32;
+    order = [];
+    next_id = 0;
+    assign = Array.make (Dag.n_nodes dag) None;
+  }
+
+let group_ids st = List.rev st.order
+let members st gid = (Hashtbl.find st.groups gid).members
+
+let demand_fits st config members =
+  let d = Dag_check.group_demand st.dag members in
+  leq d.Dag_check.compute config.Catalog.cpu.Catalog.speed
+  && leq (Dag_check.nic d) config.Catalog.nic.Catalog.bandwidth
+
+(* Flow between two member sets: one stream per (producer, consuming
+   set) at the fastest consuming rate. *)
+let flow_between dag g h =
+  let one_way src dst =
+    List.fold_left
+      (fun acc j ->
+        let consumers_in_dst =
+          List.filter (fun c -> List.mem c dst) (Dag.consumers dag j)
+        in
+        match consumers_in_dst with
+        | [] -> acc
+        | cs ->
+          let rate =
+            List.fold_left
+              (fun m c -> Float.max m (Dag.node dag c).Dag.rate)
+              0.0 cs
+          in
+          acc +. ((Dag.node dag j).Dag.output *. rate))
+      0.0 src
+  in
+  one_way g h +. one_way h g
+
+let can_host st ~config ~members ?(ignore_groups = []) () =
+  demand_fits st config members
+  && Hashtbl.fold
+       (fun gid g ok ->
+         ok
+         && (List.mem gid ignore_groups
+            || leq
+                 (flow_between st.dag members g.members)
+                 st.platform.Platform.proc_link))
+       st.groups true
+
+let acquire st ~config ~members =
+  if can_host st ~config ~members () then begin
+    let gid = st.next_id in
+    st.next_id <- st.next_id + 1;
+    Hashtbl.replace st.groups gid
+      { members = List.sort compare members; cfg = config };
+    st.order <- gid :: st.order;
+    List.iter (fun i -> st.assign.(i) <- Some gid) members;
+    Some gid
+  end
+  else None
+
+let sell st gid =
+  let g = Hashtbl.find st.groups gid in
+  List.iter (fun i -> st.assign.(i) <- None) g.members;
+  Hashtbl.remove st.groups gid;
+  st.order <- List.filter (fun id -> id <> gid) st.order
+
+let try_add st gid node =
+  let g = Hashtbl.find st.groups gid in
+  let candidate = List.sort compare (node :: g.members) in
+  if can_host st ~config:g.cfg ~members:candidate ~ignore_groups:[ gid ] ()
+  then begin
+    g.members <- candidate;
+    st.assign.(node) <- Some gid;
+    true
+  end
+  else false
+
+let try_absorb st winner loser =
+  let gw = Hashtbl.find st.groups winner in
+  let gl = Hashtbl.find st.groups loser in
+  let candidate = List.sort compare (gw.members @ gl.members) in
+  if
+    can_host st ~config:gw.cfg ~members:candidate
+      ~ignore_groups:[ winner; loser ] ()
+  then begin
+    let absorbed = gl.members in
+    sell st loser;
+    gw.members <- candidate;
+    List.iter (fun i -> st.assign.(i) <- Some winner) absorbed;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* SBU-style placement                                                 *)
+
+(* Depth of a node = longest path to any sink (roots have depth 0). *)
+let depths dag =
+  let n = Dag.n_nodes dag in
+  let depth = Array.make n 0 in
+  (* ids are topological: consumers have higher ids; walk down. *)
+  for i = n - 1 downto 0 do
+    List.iter
+      (function
+        | Dag.Node j -> depth.(j) <- max depth.(j) (depth.(i) + 1)
+        | Dag.Object _ -> ())
+      (Dag.inputs dag i)
+  done;
+  depth
+
+let absorb_consumers st gid =
+  let dag = st.dag in
+  let progressed = ref false in
+  let rec pass () =
+    let changed =
+      List.exists
+        (fun m ->
+          List.exists
+            (fun c ->
+              match st.assign.(c) with
+              | None -> try_add st gid c
+              | Some other when other <> gid -> try_absorb st gid other
+              | Some _ -> false)
+            (Dag.consumers dag m))
+        (members st gid)
+    in
+    if changed then begin
+      progressed := true;
+      pass ()
+    end
+  in
+  pass ();
+  !progressed
+
+(* Iterative grouping fallback: grow the member set along its heaviest
+   stream edge until a processor can host it. *)
+let acquire_with_grouping st node =
+  let dag = st.dag in
+  let best_cfg = Catalog.best st.platform.Platform.catalog in
+  let heaviest_neighbor members =
+    let in_set i = List.mem i members in
+    let best = ref None in
+    let consider cand w =
+      match !best with
+      | Some (_, bw) when bw >= w -> ()
+      | Some _ | None -> best := Some (cand, w)
+    in
+    List.iter
+      (fun m ->
+        let nm = Dag.node dag m in
+        List.iter
+          (function
+            | Dag.Node j when not (in_set j) ->
+              consider j ((Dag.node dag j).Dag.output *. nm.Dag.rate)
+            | Dag.Node _ | Dag.Object _ -> ())
+          nm.Dag.inputs;
+        List.iter
+          (fun c ->
+            if not (in_set c) then
+              consider c (nm.Dag.output *. (Dag.node dag c).Dag.rate))
+          (Dag.consumers dag m))
+      members;
+    Option.map fst !best
+  in
+  let rec grow members rounds =
+    match acquire st ~config:best_cfg ~members with
+    | Some gid -> Ok gid
+    | None ->
+      if rounds <= 0 then
+        Error
+          (Printf.sprintf "no processor can host nodes {%s}"
+             (String.concat ", " (List.map string_of_int members)))
+      else (
+        match heaviest_neighbor members with
+        | None -> Error "isolated node fits no processor"
+        | Some nb ->
+          (match st.assign.(nb) with
+          | Some gid -> sell st gid
+          | None -> ());
+          grow (nb :: members) (rounds - 1))
+  in
+  grow [ node ] 8
+
+let consolidate st =
+  let adjacent ga gb =
+    flow_between st.dag (members st ga) (members st gb) > 0.0
+  in
+  let rec pass () =
+    let by_size =
+      List.sort
+        (fun a b ->
+          compare (List.length (members st a)) (List.length (members st b)))
+        (group_ids st)
+    in
+    let merged =
+      List.exists
+        (fun loser ->
+          Hashtbl.mem st.groups loser
+          &&
+          let hosts = List.filter (fun g -> g <> loser) (group_ids st) in
+          let adj, rest = List.partition (fun g -> adjacent g loser) hosts in
+          List.exists (fun winner -> try_absorb st winner loser) (adj @ rest))
+        by_size
+    in
+    if merged then pass ()
+  in
+  pass ()
+
+let place dag platform =
+  let st = create dag platform in
+  let best_cfg = Catalog.best platform.Platform.catalog in
+  let depth = depths dag in
+  let al_nodes =
+    List.filter (Dag.is_al_node dag) (Dag.topological dag)
+    |> List.sort (fun a b ->
+           let c = compare depth.(b) depth.(a) in
+           if c <> 0 then c else compare a b)
+  in
+  let rec seed = function
+    | [] -> Ok ()
+    | node :: rest ->
+      if st.assign.(node) <> None then seed rest
+      else (
+        match acquire st ~config:best_cfg ~members:[ node ] with
+        | Some _ -> seed rest
+        | None -> (
+          match acquire_with_grouping st node with
+          | Ok _ -> seed rest
+          | Error e -> Error e))
+  in
+  match seed al_nodes with
+  | Error e -> Error e
+  | Ok () ->
+    (* bottom-up merge rounds *)
+    let deepest gid =
+      List.fold_left (fun acc m -> max acc depth.(m)) 0 (members st gid)
+    in
+    let rec merge_rounds () =
+      let by_depth =
+        List.sort (fun a b -> compare (deepest b) (deepest a)) (group_ids st)
+      in
+      let changed =
+        List.fold_left
+          (fun acc gid ->
+            if Hashtbl.mem st.groups gid then absorb_consumers st gid || acc
+            else acc)
+          false by_depth
+      in
+      if changed then merge_rounds ()
+    in
+    merge_rounds ();
+    (* leftovers, inputs before consumers, bounded against oscillation *)
+    let budget = ref ((Dag.n_nodes dag * Dag.n_nodes dag) + 16) in
+    let rec leftovers () =
+      match
+        List.filter (fun i -> st.assign.(i) = None) (Dag.topological dag)
+      with
+      | [] ->
+        consolidate st;
+        Ok ()
+      | node :: _ ->
+        decr budget;
+        if !budget <= 0 then Error "placement did not converge"
+        else begin
+          let input_groups =
+            List.filter_map
+              (function
+                | Dag.Node j -> st.assign.(j)
+                | Dag.Object _ -> None)
+              (Dag.inputs dag node)
+            |> List.sort_uniq compare
+          in
+          let hosted = List.exists (fun gid -> try_add st gid node) input_groups in
+          if hosted then leftovers ()
+          else
+            match acquire_with_grouping st node with
+            | Ok gid ->
+              ignore (absorb_consumers st gid);
+              leftovers ()
+            | Error e -> Error e
+        end
+    in
+    (match leftovers () with
+    | Error e -> Error e
+    | Ok () ->
+      let ids = group_ids st in
+      let groups = Array.of_list (List.map (members st) ids) in
+      let configs =
+        Array.of_list
+          (List.map (fun gid -> (Hashtbl.find st.groups gid).cfg) ids)
+      in
+      Ok (groups, configs))
+
+(* ------------------------------------------------------------------ *)
+(* Downgrade and full pipeline                                         *)
+
+let downgrade dag platform alloc =
+  let catalog = platform.Platform.catalog in
+  let objects = Dag.objects dag in
+  let n = Alloc.n_procs alloc in
+  let rec shrink alloc u =
+    if u >= n then alloc
+    else begin
+      let d = Dag_check.proc_demand dag alloc u in
+      let planned_rate =
+        List.fold_left
+          (fun acc (k, _) -> acc +. Objects.rate objects k)
+          0.0 (Alloc.downloads_of alloc u)
+      in
+      let nic_load = planned_rate +. d.Dag_check.comm_in +. d.Dag_check.comm_out in
+      let alloc =
+        match
+          Catalog.cheapest_satisfying catalog ~speed:d.Dag_check.compute
+            ~bandwidth:nic_load
+        with
+        | Some config -> Alloc.with_config alloc u config
+        | None -> alloc
+      in
+      shrink alloc (u + 1)
+    end
+  in
+  shrink alloc 0
+
+let run dag platform =
+  match place dag platform with
+  | Error e -> Error (Placement e)
+  | Ok (groups, configs) -> (
+    let needs =
+      Array.to_list
+        (Array.mapi
+           (fun u g -> List.map (fun k -> (u, k)) (Dag_check.distinct_objects dag g))
+           groups)
+      |> List.concat
+    in
+    match
+      Server_select.sophisticated_generic ~n_groups:(Array.length groups)
+        ~rate:(Objects.rate (Dag.objects dag))
+        ~servers:platform.Platform.servers
+        ~server_link:platform.Platform.server_link ~needs
+    with
+    | Error e -> Error (Server_selection e)
+    | Ok downloads -> (
+      let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+      let alloc = downgrade dag platform alloc in
+      match Dag_check.check dag platform alloc with
+      | [] ->
+        Ok
+          {
+            alloc;
+            cost = Cost.of_alloc platform.Platform.catalog alloc;
+            n_procs = Alloc.n_procs alloc;
+          }
+      | violations ->
+        Error (Validation (Insp_mapping.Check.explain violations))))

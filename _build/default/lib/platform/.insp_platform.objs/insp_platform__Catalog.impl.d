@@ -1,0 +1,1 @@
+lib/platform/catalog.ml: Array Format List

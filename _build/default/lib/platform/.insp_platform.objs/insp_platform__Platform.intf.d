@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Catalog Format Insp_util Servers

@@ -1,0 +1,1 @@
+lib/platform/servers.ml: Array Format Insp_util List Printf String

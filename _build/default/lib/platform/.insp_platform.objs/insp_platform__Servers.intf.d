@@ -1,0 +1,1 @@
+lib/platform/servers.mli: Format Insp_util

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.ml: Array Hashtbl Insp_tree Insp_util List

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.mli: Insp_tree Insp_util

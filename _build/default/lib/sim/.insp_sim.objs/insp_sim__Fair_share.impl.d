@@ -1,0 +1,1 @@
+lib/sim/fair_share.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Array Fair_share Float Format Hashtbl Insp_mapping Insp_platform Insp_tree Insp_util List Option Printf String

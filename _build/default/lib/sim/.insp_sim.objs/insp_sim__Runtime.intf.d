@@ -1,0 +1,1 @@
+lib/sim/runtime.mli: Format Insp_mapping Insp_platform Insp_tree

@@ -1,0 +1,25 @@
+(** Max-min fair bandwidth allocation under the bounded multi-port model
+    (paper §2.2).
+
+    Each flow crosses a set of capacity constraints (its sender's network
+    card, its receiver's network card, the point-to-point link).  The
+    allocation is computed by progressive filling: repeatedly find the
+    constraint with the smallest fair share among its unfrozen flows,
+    freeze those flows at that share, and continue — the classic max-min
+    fixpoint.  A resource can serve many flows at once (multi-port), but
+    the sum of its flows' rates never exceeds its capacity (bounded). *)
+
+val compute : caps:float array -> membership:int list array -> float array
+(** [compute ~caps ~membership] returns one rate per flow.
+    [membership.(f)] lists the constraint indices flow [f] crosses (at
+    least one, each a valid index into [caps]; capacities must be
+    non-negative).  Rates are non-negative and saturate at least one
+    constraint of every flow unless every constraint still has slack
+    (which cannot happen: filling stops only when all flows are
+    frozen). *)
+
+val is_max_min : caps:float array -> membership:int list array -> rates:float array -> bool
+(** Independent verifier used by property tests: every constraint is
+    respected (tolerance 1e-6) and every flow is bottlenecked — it
+    crosses at least one constraint that is saturated and where the flow
+    has a maximal rate among the constraint's flows. *)

@@ -1,0 +1,293 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+module Servers = Insp_platform.Servers
+module Alloc = Insp_mapping.Alloc
+module Heap = Insp_util.Heap
+
+type report = {
+  sim_time : float;
+  results_completed : int;
+  achieved_throughput : float;
+  target_throughput : float;
+  proc_busy : float array;
+  download_delivered : float;
+  download_ideal : float;
+  events : int;
+}
+
+(* The analytic model is fluid; the packetized simulation adds pipeline
+   fill and scheduling granularity, so allow a 5% margin. *)
+let sustains_target r =
+  r.achieved_throughput >= 0.95 *. r.target_throughput
+
+type endpoint = Proc of int | Server of int
+
+type flow_kind =
+  | Message of { child : int }  (* result of operator [child] to parent *)
+  | Download of { proc : int; object_type : int }
+
+type flow = {
+  kind : flow_kind;
+  src : endpoint;
+  dst : int;  (* processor *)
+  size : float;
+  mutable remaining : float;
+}
+
+type event =
+  | Compute_done of { op : int; result : int }
+  | Download_due of { proc : int; object_type : int; server : int }
+
+let epsilon = 1e-9
+
+let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
+  (* The pipeline needs enough results in flight to cover its depth in
+     processor hops, otherwise the work-ahead bound (not a resource)
+     throttles throughput. *)
+  let window =
+    match window with
+    | Some w -> w
+    | None -> max 8 (2 * Alloc.n_procs alloc)
+  in
+  let warmup = match warmup with Some w -> w | None -> horizon /. 4.0 in
+  if warmup >= horizon then invalid_arg "Runtime.run: warmup >= horizon";
+  let tree = App.tree app in
+  let n_ops = App.n_operators app in
+  let n_procs = Alloc.n_procs alloc in
+  let proc_of = Array.make n_ops (-1) in
+  for i = 0 to n_ops - 1 do
+    match Alloc.assignment alloc i with
+    | Some u -> proc_of.(i) <- u
+    | None -> invalid_arg "Runtime.run: unassigned operator"
+  done;
+  let speed u = (Alloc.proc alloc u).Alloc.config.Catalog.cpu.Catalog.speed in
+  let nic u =
+    (Alloc.proc alloc u).Alloc.config.Catalog.nic.Catalog.bandwidth
+  in
+  let servers = platform.Platform.servers in
+  (* --- operator pipeline state --- *)
+  let completed = Array.make n_ops (-1) in
+  (* arrived.(i) maps each remote operator-child of i to its arrival
+     count *)
+  let children = Array.init n_ops (fun i -> Array.of_list (Optree.children tree i)) in
+  let arrived = Array.map (fun cs -> Array.map (fun _ -> 0) cs) children in
+  let computing = Array.make n_procs false in
+  let busy_until_accum = Array.make n_procs 0.0 in
+  let root_completions = ref [] in
+  (* --- flows --- *)
+  let flows : flow list ref = ref [] in
+  let rates : (flow * float) list ref = ref [] in
+  let events = Heap.create () in
+  let n_events = ref 0 in
+  let download_delivered = ref 0.0 in
+  (* Fair-share recomputation over the active flows. *)
+  let recompute_rates () =
+    let fl = Array.of_list !flows in
+    if Array.length fl = 0 then rates := []
+    else begin
+      (* Constraints: proc cards (in+out), server cards, active pair
+         links. *)
+      let caps = ref [] in
+      let n_caps = ref 0 in
+      let cap_index = Hashtbl.create 16 in
+      let constraint_of key cap =
+        match Hashtbl.find_opt cap_index key with
+        | Some idx -> idx
+        | None ->
+          let idx = !n_caps in
+          incr n_caps;
+          Hashtbl.replace cap_index key idx;
+          caps := cap :: !caps;
+          idx
+      in
+      let membership =
+        Array.map
+          (fun f ->
+            let dst_card = constraint_of (`Proc_card f.dst) (nic f.dst) in
+            match f.src with
+            | Proc u ->
+              let src_card = constraint_of (`Proc_card u) (nic u) in
+              let link =
+                constraint_of (`Plink (u, f.dst)) platform.Platform.proc_link
+              in
+              [ src_card; dst_card; link ]
+            | Server l ->
+              let src_card =
+                constraint_of (`Server_card l) (Servers.card servers l)
+              in
+              let link =
+                constraint_of (`Slink (l, f.dst)) platform.Platform.server_link
+              in
+              [ src_card; dst_card; link ])
+          fl
+      in
+      let caps = Array.of_list (List.rev !caps) in
+      let r = Fair_share.compute ~caps ~membership in
+      rates := Array.to_list (Array.mapi (fun i f -> (f, r.(i))) fl)
+    end
+  in
+  (* --- pipeline readiness --- *)
+  let child_slot i c =
+    let cs = children.(i) in
+    let rec find k = if cs.(k) = c then k else find (k + 1) in
+    find 0
+  in
+  let ready op =
+    let t = completed.(op) + 1 in
+    t <= completed.(0) + window
+    && Array.for_all
+         (fun c ->
+           if proc_of.(c) = proc_of.(op) then completed.(c) >= t
+           else arrived.(op).(child_slot op c) > t)
+         children.(op)
+  in
+  let now = ref 0.0 in
+  let dispatch () =
+    (* Start an evaluation on every idle processor that has a ready
+       operator (lowest pending result first, then operator id). *)
+    for u = 0 to n_procs - 1 do
+      if not computing.(u) then begin
+        let best = ref None in
+        List.iter
+          (fun op ->
+            if ready op then
+              match !best with
+              | Some b
+                when (completed.(b), b) <= (completed.(op), op) -> ()
+              | _ -> best := Some op)
+          (Alloc.operators_of alloc u);
+        match !best with
+        | None -> ()
+        | Some op ->
+          computing.(u) <- true;
+          let duration = App.work app op /. speed u in
+          busy_until_accum.(u) <- busy_until_accum.(u) +. duration;
+          Heap.push events (!now +. duration)
+            (Compute_done { op; result = completed.(op) + 1 })
+      end
+    done
+  in
+  let finish_compute op result =
+    completed.(op) <- result;
+    computing.(proc_of.(op)) <- false;
+    if op = Optree.root tree then root_completions := !now :: !root_completions;
+    match Optree.parent tree op with
+    | Some p when proc_of.(p) <> proc_of.(op) ->
+      let size = App.output_size app op in
+      flows :=
+        {
+          kind = Message { child = op };
+          src = Proc proc_of.(op);
+          dst = proc_of.(p);
+          size;
+          remaining = size;
+        }
+        :: !flows;
+      recompute_rates ()
+    | Some _ | None -> ()
+  in
+  let finish_flow f =
+    (match f.kind with
+    | Message { child } ->
+      let p = Option.get (Optree.parent tree child) in
+      let slot = child_slot p child in
+      arrived.(p).(slot) <- arrived.(p).(slot) + 1
+    | Download _ -> ());
+    flows := List.filter (fun g -> g != f) !flows
+  in
+  (* Seed periodic downloads. *)
+  List.iter
+    (fun (u, k, l) ->
+      Heap.push events 0.0 (Download_due { proc = u; object_type = k; server = l }))
+    (Alloc.all_downloads alloc);
+  dispatch ();
+  (* --- main loop --- *)
+  let continue_ = ref true in
+  while !continue_ do
+    let t_heap = match Heap.peek events with Some (t, _) -> t | None -> infinity in
+    let t_flow =
+      List.fold_left
+        (fun acc (f, r) ->
+          if r > epsilon then Float.min acc (!now +. (f.remaining /. r)) else acc)
+        infinity !rates
+    in
+    let t_next = Float.min horizon (Float.min t_heap t_flow) in
+    (* Advance all flows to t_next. *)
+    let dt = t_next -. !now in
+    if dt > 0.0 then
+      List.iter
+        (fun (f, r) ->
+          let moved = Float.min f.remaining (r *. dt) in
+          f.remaining <- f.remaining -. moved;
+          match f.kind with
+          | Download _ -> download_delivered := !download_delivered +. moved
+          | Message _ -> ())
+        !rates;
+    now := t_next;
+    if t_next >= horizon then continue_ := false
+    else if t_flow <= t_heap then begin
+      (* One or more flows completed. *)
+      incr n_events;
+      let done_flows = List.filter (fun f -> f.remaining <= epsilon) !flows in
+      List.iter finish_flow done_flows;
+      recompute_rates ();
+      dispatch ()
+    end
+    else begin
+      incr n_events;
+      match Heap.pop events with
+      | None -> continue_ := false
+      | Some (_, Compute_done { op; result }) ->
+        finish_compute op result;
+        dispatch ()
+      | Some (_, Download_due { proc; object_type; server }) ->
+        let size = Insp_tree.Objects.size (App.objects app) object_type in
+        let freq = Insp_tree.Objects.freq (App.objects app) object_type in
+        flows :=
+          {
+            kind = Download { proc; object_type };
+            src = Server server;
+            dst = proc;
+            size;
+            remaining = size;
+          }
+          :: !flows;
+        Heap.push events (!now +. (1.0 /. freq))
+          (Download_due { proc; object_type; server });
+        recompute_rates ();
+        dispatch ()
+    end
+  done;
+  (* --- measurement --- *)
+  let completions = List.rev !root_completions in
+  let after_warmup = List.filter (fun t -> t >= warmup) completions in
+  let achieved =
+    float_of_int (List.length after_warmup) /. (horizon -. warmup)
+  in
+  let ideal =
+    List.fold_left
+      (fun acc (_, k, _) -> acc +. (App.download_rate app k *. horizon))
+      0.0
+      (Alloc.all_downloads alloc)
+  in
+  {
+    sim_time = horizon;
+    results_completed = List.length completions;
+    achieved_throughput = achieved;
+    target_throughput = App.rho app;
+    proc_busy = Array.map (fun b -> Float.min 1.0 (b /. horizon)) busy_until_accum;
+    download_delivered = !download_delivered;
+    download_ideal = ideal;
+    events = !n_events;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>simulated %.1f s, %d events@ root results: %d (%.3f/s vs target \
+     %.3f/s)@ downloads: %.0f / %.0f MB delivered@ busy: [%s]@]"
+    r.sim_time r.events r.results_completed r.achieved_throughput
+    r.target_throughput r.download_delivered r.download_ideal
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") r.proc_busy)))

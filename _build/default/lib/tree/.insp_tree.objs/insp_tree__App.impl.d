@@ -1,0 +1,1 @@
+lib/tree/app.ml: Array Format List Objects Optree

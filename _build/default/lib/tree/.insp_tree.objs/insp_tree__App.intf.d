@@ -1,0 +1,1 @@
+lib/tree/app.mli: Format Objects Optree

@@ -1,0 +1,1 @@
+lib/tree/dot.ml: App Buffer Fun List Optree Printf

@@ -1,0 +1,1 @@
+lib/tree/generate.ml: Array Insp_util Optree

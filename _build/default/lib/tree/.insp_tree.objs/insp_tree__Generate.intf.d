@@ -1,0 +1,1 @@
+lib/tree/generate.mli: Insp_util Optree

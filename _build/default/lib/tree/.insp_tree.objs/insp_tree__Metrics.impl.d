@@ -1,0 +1,1 @@
+lib/tree/metrics.ml: App Format List Optree

@@ -1,0 +1,1 @@
+lib/tree/metrics.mli: App Format

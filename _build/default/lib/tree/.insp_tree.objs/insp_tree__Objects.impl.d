@@ -1,0 +1,1 @@
+lib/tree/objects.ml: Array Format

@@ -1,0 +1,1 @@
+lib/tree/optree.ml: Array Format List Printf String

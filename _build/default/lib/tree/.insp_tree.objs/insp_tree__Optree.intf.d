@@ -1,0 +1,1 @@
+lib/tree/optree.mli: Format

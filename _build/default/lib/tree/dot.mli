@@ -1,0 +1,10 @@
+(** Graphviz export of operator trees, for documentation and debugging. *)
+
+val of_tree : Optree.t -> string
+(** DOT digraph with operators as boxes and object leaves as ellipses. *)
+
+val of_app : App.t -> string
+(** Same, with each operator annotated by [w_i] and [delta_i]. *)
+
+val save : string -> string -> unit
+(** [save dot path] writes the DOT text to [path]. *)

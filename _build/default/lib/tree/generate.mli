@@ -1,0 +1,22 @@
+(** Random application generation following the paper's methodology (§5):
+    random binary operator trees whose leaves are basic objects drawn
+    uniformly among a fixed number of object types. *)
+
+val random_shape : Insp_util.Prng.t -> n_operators:int -> n_object_types:int -> Optree.t
+(** [random_shape rng ~n_operators ~n_object_types] builds a uniformly
+    recursive random binary tree with exactly [n_operators] internal
+    nodes; every operator has exactly two inputs (operator children or
+    object leaves), so the tree has [n_operators + 1] leaf instances.
+    Leaf object types are drawn uniformly.  Requires [n_operators >= 1]
+    and [n_object_types >= 1]. *)
+
+val balanced_shape : n_operators:int -> n_object_types:int -> Optree.t
+(** Deterministic near-complete binary tree, leaves labelled round-robin
+    over object types.  Handy for tests and examples. *)
+
+val random_left_deep : Insp_util.Prng.t -> n_operators:int -> n_object_types:int -> Optree.t
+(** Left-deep chain with random leaf types (the shape used in the paper's
+    NP-hardness discussion). *)
+
+val random_sizes : Insp_util.Prng.t -> n_object_types:int -> lo:float -> hi:float -> float array
+(** One uniformly drawn size per object type, in MB. *)

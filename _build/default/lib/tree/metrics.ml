@@ -1,0 +1,43 @@
+type t = {
+  n_operators : int;
+  n_leaf_instances : int;
+  n_al_operators : int;
+  height : int;
+  total_work : float;
+  max_work : float;
+  root_output : float;
+  total_download_rate : float;
+  distinct_objects_used : int;
+}
+
+let compute app =
+  let tree = App.tree app in
+  let leaf_instances = Optree.leaf_instances tree in
+  let distinct =
+    List.sort_uniq compare (List.map snd leaf_instances) |> List.length
+  in
+  let total_download_rate =
+    (* One download per (operator, object type) pair: an operator needing
+       the same object type twice downloads it once. *)
+    List.sort_uniq compare leaf_instances
+    |> List.fold_left (fun acc (_, k) -> acc +. App.download_rate app k) 0.0
+  in
+  {
+    n_operators = App.n_operators app;
+    n_leaf_instances = List.length leaf_instances;
+    n_al_operators = List.length (Optree.al_operators tree);
+    height = Optree.height tree;
+    total_work = App.total_work app;
+    max_work = App.work app (App.heaviest_operator app);
+    root_output = App.output_size app (Optree.root tree);
+    total_download_rate;
+    distinct_objects_used = distinct;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>operators: %d (al: %d), leaf instances: %d, height: %d@ \
+     work: total %.1f Mops, max %.1f Mops@ \
+     root output: %.1f MB, max download demand: %.1f MB/s, objects used: %d@]"
+    m.n_operators m.n_al_operators m.n_leaf_instances m.height m.total_work
+    m.max_work m.root_output m.total_download_rate m.distinct_objects_used

@@ -1,0 +1,19 @@
+(** Structural and cost metrics over an application. *)
+
+type t = {
+  n_operators : int;
+  n_leaf_instances : int;
+  n_al_operators : int;
+  height : int;
+  total_work : float;  (** Mops per result *)
+  max_work : float;  (** heaviest single operator, Mops *)
+  root_output : float;  (** MB per result *)
+  total_download_rate : float;
+      (** MB/s if every leaf instance were downloaded by a distinct
+          processor (upper bound on download traffic) *)
+  distinct_objects_used : int;
+}
+
+val compute : App.t -> t
+
+val pp : Format.formatter -> t -> unit

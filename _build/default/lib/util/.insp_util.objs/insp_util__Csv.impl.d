@@ -1,0 +1,1 @@
+lib/util/csv.ml: Buffer Float Fun List Printf String

@@ -1,0 +1,90 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | samples ->
+    List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let variance samples =
+  let n = List.length samples in
+  if n < 2 then 0.0
+  else begin
+    let m = mean samples in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
+    sq /. float_of_int (n - 1)
+  end
+
+let stddev samples = sqrt (variance samples)
+
+let fold_nonempty name f = function
+  | [] -> invalid_arg ("Stats." ^ name ^ ": empty list")
+  | x :: rest -> List.fold_left f x rest
+
+let minimum samples = fold_nonempty "minimum" Float.min samples
+let maximum samples = fold_nonempty "maximum" Float.max samples
+
+let sorted samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  arr
+
+let median samples =
+  match samples with
+  | [] -> invalid_arg "Stats.median: empty list"
+  | _ ->
+    let arr = sorted samples in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percentile p samples =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  match samples with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    let arr = sorted samples in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end
+
+let summarize samples =
+  match samples with
+  | [] -> invalid_arg "Stats.summarize: empty list"
+  | _ ->
+    {
+      count = List.length samples;
+      mean = mean samples;
+      stddev = stddev samples;
+      min = minimum samples;
+      max = maximum samples;
+      median = median samples;
+    }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    s.count s.mean s.stddev s.min s.median s.max
+
+let geometric_mean = function
+  | [] -> 1.0
+  | samples ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample";
+          acc +. log x)
+        0.0 samples
+    in
+    exp (log_sum /. float_of_int (List.length samples))

@@ -1,0 +1,43 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to aggregate heuristic costs over random
+    seeds, and by the simulator to summarise measured throughput. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+(** Requires a non-empty list. *)
+
+val maximum : float list -> float
+(** Requires a non-empty list. *)
+
+val median : float list -> float
+(** Requires a non-empty list; averages the two middle elements for even
+    lengths. *)
+
+val percentile : float -> float list -> float
+(** [percentile p samples] with [p] in [\[0, 100\]], linear interpolation
+    between closest ranks.  Requires a non-empty list. *)
+
+val summarize : float list -> summary
+(** Requires a non-empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val geometric_mean : float list -> float
+(** Requires all samples strictly positive; 1.0 on the empty list. *)

@@ -1,0 +1,98 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : (string * align) list;
+  mutable rows : row list;  (* reverse order *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.headers in
+  let n = List.length cells in
+  if n > width then invalid_arg "Table.add_row: too many cells";
+  let padded =
+    if n = width then cells else cells @ List.init (width - n) (fun _ -> "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let missing = width - n in
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+    | Center ->
+      let left = missing / 2 in
+      String.make left ' ' ^ s ^ String.make (missing - left) ' '
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let cell_rows =
+    List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) cell_rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cells aligns =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        let a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w cell);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  rule ();
+  emit_cells headers (List.map (fun _ -> Center) headers);
+  rule ();
+  List.iter
+    (function
+      | Cells cells -> emit_cells cells aligns
+      | Separator -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_finite x then Printf.sprintf "%.*f" decimals x else "-"
+
+let cell_opt_float ?(decimals = 2) = function
+  | None -> "-"
+  | Some x -> cell_float ~decimals x

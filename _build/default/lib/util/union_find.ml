@@ -1,0 +1,45 @@
+type t = { parent : int array; rank : int array; count : int array }
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    count = Array.make n 1;
+  }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let small, big =
+      if t.rank.(ra) < t.rank.(rb) then (ra, rb) else (rb, ra)
+    in
+    t.parent.(small) <- big;
+    if t.rank.(small) = t.rank.(big) then t.rank.(big) <- t.rank.(big) + 1;
+    t.count.(big) <- t.count.(big) + t.count.(small);
+    big
+  end
+
+let same t a b = find t a = find t b
+
+let size t i = t.count.(find t i)
+
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))

@@ -1,0 +1,1 @@
+lib/workload/instance.ml: Config Format Insp_platform Insp_tree Insp_util List

@@ -1,0 +1,1 @@
+lib/workload/instance.mli: Config Format Insp_platform Insp_tree

@@ -1,0 +1,60 @@
+module Prng = Insp_util.Prng
+module App = Insp_tree.App
+module Objects = Insp_tree.Objects
+module Generate = Insp_tree.Generate
+module Platform = Insp_platform.Platform
+
+type t = {
+  config : Config.t;
+  app : App.t;
+  platform : Platform.t;
+}
+
+let build_app config ~tree ~sizes ~freq =
+  let objects = Objects.uniform_freq ~sizes ~freq in
+  App.make ~rho:config.Config.rho ~base_work:config.Config.base_work
+    ~work_factor:config.Config.work_factor ~tree ~objects
+    ~alpha:config.Config.alpha ()
+
+let generate (config : Config.t) =
+  let master = Prng.create config.seed in
+  let tree_rng = Prng.split master in
+  let size_rng = Prng.split master in
+  let server_rng = Prng.split master in
+  let tree =
+    Generate.random_shape tree_rng ~n_operators:config.n_operators
+      ~n_object_types:config.n_object_types
+  in
+  let lo, hi = Config.size_range config.sizes in
+  let sizes =
+    Generate.random_sizes size_rng ~n_object_types:config.n_object_types ~lo
+      ~hi
+  in
+  let app = build_app config ~tree ~sizes ~freq:(Config.frequency config.freq) in
+  let platform =
+    Platform.paper_default server_rng ~n_servers:config.n_servers
+      ~n_object_types:config.n_object_types ~min_copies:config.min_copies
+      ~max_copies:config.max_copies ()
+  in
+  { config; app; platform }
+
+let generate_batch config ~seeds =
+  List.map (fun seed -> generate { config with Config.seed }) seeds
+
+let with_frequency t freq =
+  if freq <= 0.0 then invalid_arg "Instance.with_frequency: non-positive";
+  let objects = Objects.with_freq (App.objects t.app) freq in
+  let app =
+    App.make ~rho:t.config.Config.rho ~base_work:t.config.Config.base_work
+      ~work_factor:t.config.Config.work_factor ~tree:(App.tree t.app) ~objects
+      ~alpha:t.config.Config.alpha ()
+  in
+  { t with app; config = { t.config with Config.freq = Config.Custom freq } }
+
+let homogeneous t ~cpu_index ~nic_index =
+  { t with platform = Platform.homogeneous t.platform ~cpu_index ~nic_index }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@ %a@]" Config.pp t.config
+    Insp_tree.Metrics.pp
+    (Insp_tree.Metrics.compute t.app)

@@ -1,0 +1,24 @@
+(** A generated problem instance: application plus platform. *)
+
+type t = {
+  config : Config.t;
+  app : Insp_tree.App.t;
+  platform : Insp_platform.Platform.t;
+}
+
+val generate : Config.t -> t
+(** Deterministic in [config.seed]: the seed is split into independent
+    streams for tree shape, object sizes and server placement, so e.g.
+    changing the frequency regime does not perturb the generated tree. *)
+
+val generate_batch : Config.t -> seeds:int list -> t list
+(** Same configuration across several seeds (for averaging). *)
+
+val with_frequency : t -> float -> t
+(** Same tree, same sizes, same servers; only the download frequency
+    changes (the paper's download-rate sweep). *)
+
+val homogeneous : t -> cpu_index:int -> nic_index:int -> t
+(** Restrict the platform catalog (CONSTR-HOM) keeping everything else. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Insp Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Insp Insp_experiments List Printf String

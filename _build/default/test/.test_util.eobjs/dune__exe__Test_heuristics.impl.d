@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Helpers Insp Insp_heuristics List Printf Result

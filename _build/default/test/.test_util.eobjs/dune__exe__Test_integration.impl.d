@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Insp List Option Result String

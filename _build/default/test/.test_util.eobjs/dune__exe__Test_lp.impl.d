@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fun Helpers Insp List Option Printf QCheck

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Fun Helpers Insp List

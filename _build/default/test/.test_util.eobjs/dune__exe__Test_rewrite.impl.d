@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Float Helpers Insp List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Float Helpers Insp List QCheck String

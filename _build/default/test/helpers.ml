@@ -1,0 +1,64 @@
+(* Shared fixtures and generators for the test suites. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* A tiny hand-built application used by many mapping tests:
+
+     n0
+     +- n1 [o0, o1]
+     +- n2
+        +- n3 [o0]
+        +- leaf o2
+
+   sizes: o0 = 10 MB, o1 = 20 MB, o2 = 40 MB; freq 0.5/s; alpha = 1;
+   no base work, factor 1.  So (bottom-up):
+     w3 = 10,  d3 = 10
+     w1 = 30,  d1 = 30
+     w2 = 50,  d2 = 50   (inputs: n3 output 10 + o2 40)
+     w0 = 80,  d0 = 80 *)
+let tiny_app () =
+  let open Insp.Optree in
+  let spec = Op (Op (Obj 0, Obj 1), Op (Op1 (Obj 0), Obj 2)) in
+  let tree = of_spec ~n_object_types:3 spec in
+  let objects =
+    Insp.Objects.uniform_freq ~sizes:[| 10.0; 20.0; 40.0 |] ~freq:0.5
+  in
+  Insp.App.make ~tree ~objects ~alpha:1.0 ()
+
+(* A platform with two servers: S0 holds {o0, o1}, S1 holds {o0, o2}. *)
+let tiny_platform () =
+  let holds = [| [| true; true; false |]; [| true; false; true |] |] in
+  let servers = Insp.Servers.make ~cards:[| 10000.0; 10000.0 |] ~holds in
+  Insp.Platform.make ~catalog:Insp.Catalog.dell_2008 ~servers ()
+
+(* Paper-style random instance. *)
+let instance ?(n = 30) ?(alpha = 0.9) ?(sizes = Insp.Config.Small) ~seed () =
+  Insp.Instance.generate (Insp.Config.make ~n_operators:n ~alpha ~sizes ~seed ())
+
+(* QCheck generator of small paper-style instance *parameters*: keeping
+   the raw (seed, n-index, alpha-index) triple as the test input
+   preserves printing and shrinking; build the instance in the property
+   with [instance_of_case]. *)
+let instance_case =
+  QCheck.(triple (int_range 0 2000) (int_range 0 3) (int_range 0 3))
+
+let instance_of_case (seed, n_idx, a_idx) =
+  let n = [| 5; 10; 20; 35 |].(n_idx) in
+  let alpha = [| 0.7; 0.9; 1.2; 1.5 |].(a_idx) in
+  instance ~n ~alpha ~seed ()
+
+let small_instance_gen =
+  QCheck.map instance_of_case instance_case
+
+let check_feasible inst alloc =
+  Insp.Check.check inst.Insp.Instance.app inst.Insp.Instance.platform alloc
+
+let float_eq ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let alco_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" name expected actual)
+    true (float_eq ~eps expected actual)

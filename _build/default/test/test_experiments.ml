@@ -1,0 +1,234 @@
+(* Tests for the experiment harness: figure data model, rendering, and
+   quick versions of the paper experiments (shape assertions). *)
+
+module Figure = Insp.Figure
+module Suite = Insp.Suite
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Figure                                                              *)
+
+let test_cell_of_costs () =
+  let c = Figure.cell_of_costs ~attempts:4 [ 10.0; 20.0 ] in
+  (* 2 of 4 successes: plotted *)
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 15.0) c.Figure.mean_cost;
+  Alcotest.(check int) "successes" 2 c.Figure.successes;
+  let c = Figure.cell_of_costs ~attempts:5 [ 10.0; 20.0 ] in
+  Alcotest.(check (option (float 1e-9))) "minority -> hidden" None
+    c.Figure.mean_cost;
+  let c = Figure.cell_of_costs ~attempts:3 [] in
+  Alcotest.(check (option (float 1e-9))) "no success" None c.Figure.mean_cost
+
+let sample_figure () =
+  {
+    Figure.id = "t";
+    title = "test figure";
+    xlabel = "N";
+    points =
+      [
+        {
+          Figure.x = 20.0;
+          cells =
+            [
+              ("A", Figure.cell_of_costs ~attempts:2 [ 10.0; 10.0 ]);
+              ("B", Figure.cell_of_costs ~attempts:2 [ 30.0; 30.0 ]);
+            ];
+        };
+        {
+          Figure.x = 40.0;
+          cells =
+            [
+              ("A", Figure.cell_of_costs ~attempts:2 [ 50.0 ]);
+              ("B", Figure.cell_of_costs ~attempts:2 []);
+            ];
+        };
+      ];
+    notes = [ "a note" ];
+  }
+
+let test_render () =
+  let s = Figure.render (sample_figure ()) in
+  Alcotest.(check bool) "title" true (contains s "test figure");
+  Alcotest.(check bool) "headers" true (contains s "A");
+  Alcotest.(check bool) "partial success annotated" true (contains s "(1/2)");
+  Alcotest.(check bool) "note" true (contains s "note: a note");
+  Alcotest.(check bool) "csv block" true (contains s "csv:\nN,A,B")
+
+let test_series_and_winners () =
+  let f = sample_figure () in
+  Alcotest.(check (list string)) "series" [ "A"; "B" ] (Figure.series_names f);
+  (* A wins at x=20 (10 < 30) and is alone at x=40. *)
+  Alcotest.(check (list (pair string int))) "winners" [ ("A", 2); ("B", 0) ]
+    (Figure.winner_counts f)
+
+(* ------------------------------------------------------------------ *)
+(* Suite (quick mode)                                                  *)
+
+let test_all_ids_covered () =
+  Alcotest.(check int) "twelve experiments" 12 (List.length Suite.all_ids);
+  List.iter
+    (fun id ->
+      match Suite.run_by_id ~quick:true id with
+      | Some s ->
+        Alcotest.(check bool) (id ^ " non-empty") true (String.length s > 0)
+      | None -> Alcotest.fail ("unknown id " ^ id))
+    [ "fig2a" ] (* the expensive full check happens in integration *)
+
+let test_unknown_id () =
+  Alcotest.(check bool) "unknown" true (Suite.run_by_id "nope" = None)
+
+let test_fig2a_quick_shape () =
+  (* Costs should grow with N for every heuristic, and Random should be
+     the most expensive plotted series at every point. *)
+  let fig = Suite.fig2a ~seeds:[ 1; 2 ] ~ns:[ 20; 60 ] () in
+  Alcotest.(check int) "two points" 2 (List.length fig.Figure.points);
+  let value name p =
+    match List.assoc_opt name p.Figure.cells with
+    | Some { Figure.mean_cost = Some c; _ } -> Some c
+    | _ -> None
+  in
+  let p20 = List.nth fig.Figure.points 0 in
+  let p60 = List.nth fig.Figure.points 1 in
+  List.iter
+    (fun name ->
+      match (value name p20, value name p60) with
+      | Some a, Some b ->
+        Alcotest.(check bool) (name ^ " grows with N") true (b > a)
+      | _ -> ())
+    (Figure.series_names fig);
+  match (value "Random" p60, value "Subtree-bottom-up" p60) with
+  | Some r, Some s ->
+    Alcotest.(check bool) "Random worst at N=60" true (r > s)
+  | _ -> Alcotest.fail "expected both plotted"
+
+let test_fig3_quick_thresholds () =
+  (* At N=60: alpha=0.9 cheap and feasible; alpha=2.4 infeasible. *)
+  let fig = Suite.fig3 ~seeds:[ 1; 2 ] ~alphas:[ 0.9; 2.4 ] () in
+  let cell name p = List.assoc name p.Figure.cells in
+  let p_low = List.nth fig.Figure.points 0 in
+  let p_high = List.nth fig.Figure.points 1 in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " feasible at 0.9") true
+        ((cell name p_low).Figure.mean_cost <> None);
+      Alcotest.(check bool)
+        (name ^ " infeasible at 2.4") true
+        ((cell name p_high).Figure.mean_cost = None))
+    (Figure.series_names fig)
+
+let test_ilp_quick_optimality () =
+  (* Exact must be <= every plotted heuristic mean, and >= the bound. *)
+  let fig = Suite.ilp_compare ~seeds:[ 1; 2 ] ~ns:[ 5; 8 ] () in
+  List.iter
+    (fun p ->
+      match List.assoc_opt "Exact" p.Figure.cells with
+      | Some { Figure.mean_cost = Some exact; _ } ->
+        List.iter
+          (fun (name, cell) ->
+            match cell.Figure.mean_cost with
+            | Some c when name <> "Exact" && name <> "Bound" ->
+              Alcotest.(check bool)
+                (Printf.sprintf "exact <= %s at N=%.0f" name p.Figure.x)
+                true
+                (exact <= c +. 1e-6)
+            | _ -> ())
+          p.Figure.cells;
+        (match List.assoc_opt "Bound" p.Figure.cells with
+        | Some { Figure.mean_cost = Some bound; _ } ->
+          Alcotest.(check bool) "bound <= exact" true (bound <= exact +. 1e-6)
+        | _ -> ())
+      | _ -> ())
+    fig.Figure.points
+
+let test_sharing_quick_shape () =
+  let fig = Suite.sharing ~seeds:[ 1; 2 ] ~n_apps_list:[ 1; 3 ] () in
+  List.iter
+    (fun p ->
+      match
+        ( List.assoc_opt "No sharing" p.Figure.cells,
+          List.assoc_opt "CSE sharing" p.Figure.cells )
+      with
+      | ( Some { Figure.mean_cost = Some unshared; _ },
+          Some { Figure.mean_cost = Some shared; _ } ) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "sharing <= unshared + one chassis at x=%.0f"
+             p.Figure.x)
+          true
+          (shared <= unshared +. 8000.0)
+      | _ -> ())
+    fig.Figure.points
+
+let test_rewrite_quick_shape () =
+  let fig = Suite.rewrite ~seeds:[ 1; 2 ] ~ns:[ 8; 12 ] () in
+  List.iter
+    (fun p ->
+      match
+        ( List.assoc_opt "Left-deep" p.Figure.cells,
+          List.assoc_opt "Hill-climbed" p.Figure.cells )
+      with
+      | ( Some { Figure.mean_cost = Some worst; _ },
+          Some { Figure.mean_cost = Some best; _ } ) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "hill-climbed <= left-deep at N=%.0f" p.Figure.x)
+          true
+          (best <= worst +. 1e-6)
+      | _ -> ())
+    fig.Figure.points
+
+let test_replication_flat () =
+  let fig =
+    Insp_experiments.Ablations.replication ~seeds:[ 1; 2 ]
+      ~copy_ranges:[ (1, 1); (3, 3) ] ()
+  in
+  (* For the deterministic non-object-sensitive heuristics the cost must
+     be identical across replication levels. *)
+  match fig.Figure.points with
+  | [ p1; p3 ] ->
+    List.iter
+      (fun name ->
+        match
+          (List.assoc_opt name p1.Figure.cells, List.assoc_opt name p3.Figure.cells)
+        with
+        | ( Some { Figure.mean_cost = Some a; _ },
+            Some { Figure.mean_cost = Some b; _ } ) ->
+          Alcotest.(check bool)
+            (name ^ " replication-insensitive") true
+            (Float.abs (a -. b) /. a < 0.01)
+        | _ -> ())
+      [ "Comp-Greedy"; "Subtree-bottom-up"; "Comm-Greedy" ]
+  | _ -> Alcotest.fail "expected two points"
+
+let test_simcheck_sustains () =
+  let s = Suite.sim_validation ~seeds:[ 1 ] ~ns:[ 20 ] () in
+  Alcotest.(check bool) "table rendered" true (contains s "simcheck");
+  Alcotest.(check bool) "no failures" true (not (contains s "NO"))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figure",
+        [
+          Alcotest.test_case "cell_of_costs" `Quick test_cell_of_costs;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "series and winners" `Quick
+            test_series_and_winners;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "ids and quick run" `Quick test_all_ids_covered;
+          Alcotest.test_case "unknown id" `Quick test_unknown_id;
+          Alcotest.test_case "fig2a shape" `Quick test_fig2a_quick_shape;
+          Alcotest.test_case "fig3 thresholds" `Quick
+            test_fig3_quick_thresholds;
+          Alcotest.test_case "ilp optimality" `Quick test_ilp_quick_optimality;
+          Alcotest.test_case "sharing shape" `Quick test_sharing_quick_shape;
+          Alcotest.test_case "rewrite shape" `Quick test_rewrite_quick_shape;
+          Alcotest.test_case "replication flat" `Quick test_replication_flat;
+          Alcotest.test_case "simcheck sustains" `Quick test_simcheck_sustains;
+        ] );
+    ]

@@ -1,0 +1,419 @@
+(* Tests for the mapping layer: allocations, demand arithmetic, the
+   constraint checker (paper Eqs. (1)-(5)) and cost accounting. *)
+
+module Alloc = Insp.Alloc
+module Demand = Insp.Demand
+module Check = Insp.Check
+module Cost = Insp.Cost
+module Catalog = Insp.Catalog
+module Platform = Insp.Platform
+module App = Insp.App
+
+let qtest = Helpers.qtest
+
+let cfg ?(cpu = 4) ?(nic = 4) () =
+  let c = Catalog.dell_2008 in
+  { Catalog.cpu = (Catalog.cpus c).(cpu); nic = (Catalog.nics c).(nic) }
+
+(* One-processor allocation of the tiny app: everything on a best
+   processor, objects from S0 (o0, o1) and S1 (o2). *)
+let tiny_alloc_one () =
+  Alloc.make
+    [|
+      {
+        Alloc.config = cfg ();
+        operators = [ 0; 1; 2; 3 ];
+        downloads = [ (0, 0); (1, 0); (2, 1) ];
+      };
+    |]
+
+(* Two processors: {n0, n1} and {n2, n3}. *)
+let tiny_alloc_two () =
+  Alloc.make
+    [|
+      {
+        Alloc.config = cfg ();
+        operators = [ 0; 1 ];
+        downloads = [ (0, 0); (1, 0) ];
+      };
+      {
+        Alloc.config = cfg ();
+        operators = [ 2; 3 ];
+        downloads = [ (0, 1); (2, 1) ];
+      };
+    |]
+
+(* ------------------------------------------------------------------ *)
+(* Alloc                                                               *)
+
+let test_alloc_accessors () =
+  let a = tiny_alloc_two () in
+  Alcotest.(check int) "procs" 2 (Alloc.n_procs a);
+  Alcotest.(check (option int)) "n0 on P0" (Some 0) (Alloc.assignment a 0);
+  Alcotest.(check (option int)) "n3 on P1" (Some 1) (Alloc.assignment a 3);
+  Alcotest.(check (option int)) "unknown" None (Alloc.assignment a 9);
+  Alcotest.(check (list int)) "ops of P1" [ 2; 3 ] (Alloc.operators_of a 1);
+  Alcotest.(check int) "assigned" 4 (Alloc.n_operators_assigned a);
+  Alcotest.(check (list (triple int int int))) "all downloads"
+    [ (0, 0, 0); (0, 1, 0); (1, 0, 1); (1, 2, 1) ]
+    (Alloc.all_downloads a)
+
+let test_alloc_validation () =
+  Alcotest.check_raises "duplicate operator"
+    (Invalid_argument "Alloc.make: operator assigned to two processors")
+    (fun () ->
+      ignore
+        (Alloc.make
+           [|
+             { Alloc.config = cfg (); operators = [ 0 ]; downloads = [] };
+             { Alloc.config = cfg (); operators = [ 0 ]; downloads = [] };
+           |]));
+  Alcotest.check_raises "duplicate download"
+    (Invalid_argument "Alloc.make: duplicate object type in a download plan")
+    (fun () ->
+      ignore
+        (Alloc.make
+           [|
+             {
+               Alloc.config = cfg ();
+               operators = [ 0 ];
+               downloads = [ (0, 0); (0, 1) ];
+             };
+           |]))
+
+let test_alloc_updates () =
+  let a = tiny_alloc_two () in
+  let a' = Alloc.with_config a 1 (cfg ~cpu:0 ~nic:0 ()) in
+  Helpers.alco_float "new speed" 11720.0
+    (Alloc.proc a' 1).Alloc.config.Catalog.cpu.Catalog.speed;
+  Helpers.alco_float "P0 unchanged" 46880.0
+    (Alloc.proc a' 0).Alloc.config.Catalog.cpu.Catalog.speed;
+  let a'' = Alloc.with_downloads a [| [ (0, 1); (1, 0) ]; [ (0, 0); (2, 1) ] |] in
+  Alcotest.(check (list (pair int int))) "downloads replaced"
+    [ (0, 1); (1, 0) ]
+    (Alloc.downloads_of a'' 0)
+
+(* ------------------------------------------------------------------ *)
+(* Demand                                                              *)
+
+let test_demand_single_group () =
+  let app = Helpers.tiny_app () in
+  let d = Demand.of_group app [ 0; 1; 2; 3 ] in
+  (* compute = rho * (80+30+50+10) = 170 *)
+  Helpers.alco_float "compute" 170.0 d.Demand.compute;
+  (* downloads: distinct objects {0,1,2} -> 5 + 10 + 20 *)
+  Helpers.alco_float "download (dedup)" 35.0 d.Demand.download;
+  Helpers.alco_float "no comm in" 0.0 d.Demand.comm_in;
+  Helpers.alco_float "no comm out" 0.0 d.Demand.comm_out;
+  Helpers.alco_float "nic" 35.0 (Demand.nic d)
+
+let test_demand_split_group () =
+  let app = Helpers.tiny_app () in
+  (* Group {n0, n1}: receives n2's output (50); n1 downloads o0+o1. *)
+  let d = Demand.of_group app [ 0; 1 ] in
+  Helpers.alco_float "compute" 110.0 d.Demand.compute;
+  Helpers.alco_float "download" 15.0 d.Demand.download;
+  Helpers.alco_float "comm in" 50.0 d.Demand.comm_in;
+  Helpers.alco_float "comm out" 0.0 d.Demand.comm_out;
+  (* Group {n2, n3}: sends n2's output up; downloads o0 (shared) + o2. *)
+  let d = Demand.of_group app [ 2; 3 ] in
+  Helpers.alco_float "compute lower" 60.0 d.Demand.compute;
+  Helpers.alco_float "download dedup o0" 25.0 d.Demand.download;
+  Helpers.alco_float "comm out up" 50.0 d.Demand.comm_out;
+  Helpers.alco_float "comm in none" 0.0 d.Demand.comm_in
+
+let test_demand_duplicates_ignored () =
+  let app = Helpers.tiny_app () in
+  Alcotest.(check bool) "dup ids ignored" true
+    (Demand.of_group app [ 1; 1; 1 ] = Demand.of_group app [ 1 ])
+
+let test_demand_fits () =
+  let app = Helpers.tiny_app () in
+  let d = Demand.of_group app [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "fits best" true (Demand.fits (cfg ()) d);
+  (* compute 170 > nothing; nic 35 MB/s needs the 125 tier. *)
+  Alcotest.(check bool) "fits cheapest" true (Demand.fits (cfg ~cpu:0 ~nic:0 ()) d)
+
+let test_max_crossing_edge () =
+  let app = Helpers.tiny_app () in
+  Helpers.alco_float "crossing of {n2,n3}" 50.0
+    (Demand.max_crossing_edge app [ 2; 3 ]);
+  Helpers.alco_float "crossing of all" 0.0
+    (Demand.max_crossing_edge app [ 0; 1; 2; 3 ]);
+  Helpers.alco_float "crossing of {n3}" 10.0 (Demand.max_crossing_edge app [ 3 ])
+
+let demand_decomposes =
+  qtest "group demand bounded by singleton sums" Helpers.small_instance_gen
+    (fun inst ->
+      let app = inst.Insp.Instance.app in
+      let n = App.n_operators app in
+      let group = List.init (min 6 n) Fun.id in
+      let whole = Demand.of_group app group in
+      let parts = List.map (Demand.of_operator app) group in
+      let sum f = List.fold_left (fun acc d -> acc +. f d) 0.0 parts in
+      (* Compute is exactly additive; NIC terms only shrink by grouping. *)
+      Helpers.float_eq ~eps:1e-6 whole.Demand.compute
+        (sum (fun d -> d.Demand.compute))
+      && whole.Demand.download <= sum (fun d -> d.Demand.download) +. 1e-6
+      && Demand.nic whole
+         <= sum (fun d -> Demand.nic d) +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Check                                                               *)
+
+let tiny_env () = (Helpers.tiny_app (), Helpers.tiny_platform ())
+
+let test_check_feasible () =
+  let app, platform = tiny_env () in
+  Alcotest.(check string) "one-proc feasible" "feasible"
+    (Check.explain (Check.check app platform (tiny_alloc_one ())));
+  Alcotest.(check string) "two-proc feasible" "feasible"
+    (Check.explain (Check.check app platform (tiny_alloc_two ())))
+
+let has_violation pred violations = List.exists pred violations
+
+let test_check_unassigned () =
+  let app, platform = tiny_env () in
+  let alloc =
+    Alloc.make
+      [| { Alloc.config = cfg (); operators = [ 0; 1 ]; downloads = [ (0, 0); (1, 0) ] } |]
+  in
+  Alcotest.(check bool) "unassigned flagged" true
+    (has_violation
+       (function Check.Unassigned_operator _ -> true | _ -> false)
+       (Check.check app platform alloc))
+
+let test_check_missing_download () =
+  let app, platform = tiny_env () in
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0; 1; 2; 3 ];
+          downloads = [ (0, 0); (1, 0) ] (* o2 missing *);
+        };
+      |]
+  in
+  Alcotest.(check bool) "missing download flagged" true
+    (has_violation
+       (function
+         | Check.Missing_download { object_type = 2; _ } -> true | _ -> false)
+       (Check.check app platform alloc))
+
+let test_check_extraneous_and_not_held () =
+  let app, platform = tiny_env () in
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0; 1 ];
+          downloads = [ (0, 0); (1, 0); (2, 0) ];
+          (* o2 not needed by {n0,n1}; also S0 does not hold o2 *)
+        };
+        {
+          Alloc.config = cfg ();
+          operators = [ 2; 3 ];
+          downloads = [ (0, 1); (2, 1) ];
+        };
+      |]
+  in
+  let violations = Check.check app platform alloc in
+  Alcotest.(check bool) "extraneous flagged" true
+    (has_violation
+       (function
+         | Check.Extraneous_download { object_type = 2; _ } -> true
+         | _ -> false)
+       violations);
+  Alcotest.(check bool) "not held flagged" true
+    (has_violation
+       (function
+         | Check.Not_held { object_type = 2; server = 0; _ } -> true
+         | _ -> false)
+       violations)
+
+let test_check_compute_overload () =
+  let app, platform = tiny_env () in
+  (* The tiny app is light (170 Mops/s); raise rho to overload the
+     cheapest CPU: 100 * 170 = 17000 > 11720. *)
+  let heavy =
+    App.make ~rho:100.0 ~tree:(App.tree app) ~objects:(App.objects app)
+      ~alpha:1.0 ()
+  in
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ~cpu:0 ~nic:4 ();
+          operators = [ 0; 1; 2; 3 ];
+          downloads = [ (0, 0); (1, 0); (2, 1) ];
+        };
+      |]
+  in
+  Alcotest.(check bool) "compute overload flagged" true
+    (has_violation
+       (function Check.Compute_overload _ -> true | _ -> false)
+       (Check.check heavy platform alloc))
+
+let test_check_nic_overload () =
+  let app, platform = tiny_env () in
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ~cpu:4 ~nic:0 ();
+          operators = [ 0; 1 ];
+          downloads = [ (0, 0); (1, 0) ];
+        };
+        {
+          Alloc.config = cfg ~cpu:4 ~nic:0 ();
+          operators = [ 2; 3 ];
+          downloads = [ (0, 1); (2, 1) ];
+        };
+      |]
+  in
+  (* NIC 125 holds: P0 in-comm 50 + downloads 15 = 65 fits; raise rho. *)
+  let heavy =
+    App.make ~rho:4.0 ~tree:(App.tree app) ~objects:(App.objects app)
+      ~alpha:1.0 ()
+  in
+  (* P0: comm_in = 4*50 = 200 > 125 *)
+  Alcotest.(check bool) "nic overload flagged" true
+    (has_violation
+       (function Check.Nic_overload { proc = 0; _ } -> true | _ -> false)
+       (Check.check heavy platform alloc))
+
+let test_check_server_card_overload () =
+  let app = Helpers.tiny_app () in
+  (* Same platform but with a 20 MB/s card on S0: downloads o0+o1 = 15
+     fit; both procs pulling o0 and o1 from S0 exceed it. *)
+  let holds = [| [| true; true; false |]; [| true; false; true |] |] in
+  let servers = Insp.Servers.make ~cards:[| 20.0; 10000.0 |] ~holds in
+  let platform = Platform.make ~catalog:Catalog.dell_2008 ~servers () in
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0; 1 ];
+          downloads = [ (0, 0); (1, 0) ];
+        };
+        {
+          Alloc.config = cfg ();
+          operators = [ 2; 3 ];
+          downloads = [ (0, 0); (2, 1) ];
+        };
+      |]
+  in
+  (* S0 serves 5 + 10 + 5 = 20 <= 20: feasible at the boundary. *)
+  Alcotest.(check string) "at capacity ok" "feasible"
+    (Check.explain (Check.check app platform alloc));
+  let servers = Insp.Servers.make ~cards:[| 19.0; 10000.0 |] ~holds in
+  let platform = Platform.make ~catalog:Catalog.dell_2008 ~servers () in
+  Alcotest.(check bool) "over capacity flagged" true
+    (has_violation
+       (function
+         | Check.Server_card_overload { server = 0; _ } -> true | _ -> false)
+       (Check.check app platform alloc))
+
+let test_check_server_link_overload () =
+  let app = Helpers.tiny_app () in
+  let holds = [| [| true; true; false |]; [| true; false; true |] |] in
+  let servers = Insp.Servers.make ~cards:[| 10000.0; 10000.0 |] ~holds in
+  let platform =
+    Platform.make ~catalog:Catalog.dell_2008 ~servers ~server_link:12.0 ()
+  in
+  (* P0 pulls o0 (5) + o1 (10) from S0 over one 12 MB/s link. *)
+  Alcotest.(check bool) "server link flagged" true
+    (has_violation
+       (function
+         | Check.Server_link_overload { server = 0; proc = 0; _ } -> true
+         | _ -> false)
+       (Check.check app platform (tiny_alloc_one ())))
+
+let test_check_proc_link_overload () =
+  let app = Helpers.tiny_app () in
+  let holds = [| [| true; true; false |]; [| true; false; true |] |] in
+  let servers = Insp.Servers.make ~cards:[| 10000.0; 10000.0 |] ~holds in
+  let platform =
+    Platform.make ~catalog:Catalog.dell_2008 ~servers ~proc_link:40.0 ()
+  in
+  (* Edge n2 -> n0 carries 50 MB/s > 40. *)
+  Alcotest.(check bool) "proc link flagged" true
+    (has_violation
+       (function Check.Proc_link_overload _ -> true | _ -> false)
+       (Check.check app platform (tiny_alloc_two ())))
+
+let test_pair_flow () =
+  let app = Helpers.tiny_app () in
+  let a = tiny_alloc_two () in
+  Helpers.alco_float "pair flow" 50.0 (Check.pair_flow app a 0 1);
+  Helpers.alco_float "symmetric" 50.0 (Check.pair_flow app a 1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+
+let test_cost () =
+  let a = tiny_alloc_two () in
+  let c = Catalog.dell_2008 in
+  Helpers.alco_float "two best procs" (2.0 *. (7548.0 +. 5299.0 +. 5999.0))
+    (Cost.of_alloc c a);
+  Alcotest.(check int) "per-proc array" 2 (Array.length (Cost.per_proc c a))
+
+let lower_bound_sound =
+  qtest "cost lower bound below every heuristic outcome"
+    Helpers.small_instance_gen (fun inst ->
+      let app = inst.Insp.Instance.app in
+      let platform = inst.Insp.Instance.platform in
+      let lb = Cost.lower_bound_cost app platform.Platform.catalog in
+      List.for_all
+        (fun (_, r) ->
+          match r with
+          | Ok (o : Insp.Solve.outcome) -> lb <= o.cost +. 1e-6
+          | Error _ -> true)
+        (Insp.Solve.run_all ~seed:1 app platform))
+
+let () =
+  Alcotest.run "mapping"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "accessors" `Quick test_alloc_accessors;
+          Alcotest.test_case "validation" `Quick test_alloc_validation;
+          Alcotest.test_case "updates" `Quick test_alloc_updates;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "single group" `Quick test_demand_single_group;
+          Alcotest.test_case "split group" `Quick test_demand_split_group;
+          Alcotest.test_case "duplicates" `Quick test_demand_duplicates_ignored;
+          Alcotest.test_case "fits" `Quick test_demand_fits;
+          Alcotest.test_case "max crossing edge" `Quick test_max_crossing_edge;
+          demand_decomposes;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "feasible allocations" `Quick test_check_feasible;
+          Alcotest.test_case "unassigned" `Quick test_check_unassigned;
+          Alcotest.test_case "missing download" `Quick
+            test_check_missing_download;
+          Alcotest.test_case "extraneous + not held" `Quick
+            test_check_extraneous_and_not_held;
+          Alcotest.test_case "compute overload" `Quick
+            test_check_compute_overload;
+          Alcotest.test_case "nic overload" `Quick test_check_nic_overload;
+          Alcotest.test_case "server card overload" `Quick
+            test_check_server_card_overload;
+          Alcotest.test_case "server link overload" `Quick
+            test_check_server_link_overload;
+          Alcotest.test_case "proc link overload" `Quick
+            test_check_proc_link_overload;
+          Alcotest.test_case "pair flow" `Quick test_pair_flow;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "totals" `Quick test_cost;
+          lower_bound_sound;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Tests for the multi-application extension: DAG model, common-
+   subexpression sharing, DAG constraint checking and DAG placement. *)
+
+module Dag = Insp.Dag
+module Cse = Insp.Cse
+module Dag_check = Insp.Dag_check
+module Dag_place = Insp.Dag_place
+module MW = Insp.Multi_workload
+module Optree = Insp.Optree
+module Objects = Insp.Objects
+module App = Insp.App
+module Alloc = Insp.Alloc
+module Check = Insp.Check
+module Prng = Insp.Prng
+
+let qtest = Helpers.qtest
+
+let objects3 () =
+  Objects.uniform_freq ~sizes:[| 10.0; 20.0; 40.0 |] ~freq:0.5
+
+(* ------------------------------------------------------------------ *)
+(* Dag construction                                                    *)
+
+let test_builder_basic () =
+  let b = Dag.create_builder ~n_object_types:3 in
+  let a = Dag.add_node b ~inputs:[ Dag.Object 0; Dag.Object 1 ] in
+  let c = Dag.add_node b ~inputs:[ Dag.Node a; Dag.Object 2 ] in
+  let dag =
+    Dag.finish b ~objects:(objects3 ()) ~alpha:1.0
+      ~roots:[ (c, 2.0); (a, 0.5) ]
+      ()
+  in
+  Alcotest.(check int) "2 nodes" 2 (Dag.n_nodes dag);
+  (* a output = 30; c input = 30 + 40 *)
+  Helpers.alco_float "a output" 30.0 (Dag.node dag a).Dag.output;
+  Helpers.alco_float "c work (alpha=1)" 70.0 (Dag.node dag c).Dag.work;
+  (* a feeds c (rate 2.0) and a sink at 0.5 -> max 2.0 *)
+  Helpers.alco_float "a rate is max of consumers" 2.0 (Dag.node dag a).Dag.rate;
+  Alcotest.(check (list int)) "consumers of a" [ c ] (Dag.consumers dag a);
+  Alcotest.(check bool) "validates" true (Dag.validate dag = Ok ());
+  Alcotest.(check bool) "a is al" true (Dag.is_al_node dag a);
+  Alcotest.(check (list int)) "o2 users" [ c ] (Dag.object_users dag 2)
+
+let test_builder_validation () =
+  let b = Dag.create_builder ~n_object_types:1 in
+  Alcotest.check_raises "dangling input"
+    (Invalid_argument "Dag.add_node: dangling node") (fun () ->
+      ignore (Dag.add_node b ~inputs:[ Dag.Node 5 ]));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Dag.add_node: arity must be 1-2") (fun () ->
+      ignore (Dag.add_node b ~inputs:[]));
+  let a = Dag.add_node b ~inputs:[ Dag.Object 0 ] in
+  let _c = Dag.add_node b ~inputs:[ Dag.Node a ] in
+  (* node a feeds c, but c feeds nothing and is not a root *)
+  Alcotest.check_raises "unconsumed node"
+    (Invalid_argument "Dag.finish: node 1 feeds nothing") (fun () ->
+      ignore
+        (Dag.finish b ~objects:(objects3 ()) ~alpha:1.0 ~roots:[ (a, 1.0) ] ()))
+
+let test_of_apps () =
+  let app = Helpers.tiny_app () in
+  let dag = Dag.of_apps [ app; app ] in
+  Alcotest.(check int) "nodes duplicated" 8 (Dag.n_nodes dag);
+  Alcotest.(check int) "two roots" 2 (List.length (Dag.roots dag));
+  Alcotest.(check bool) "validates" true (Dag.validate dag = Ok ());
+  (* work/output copied from the tree model *)
+  let (r0, rho0) = List.hd (Dag.roots dag) in
+  Helpers.alco_float "rho" (App.rho app) rho0;
+  Helpers.alco_float "root output" 80.0 (Dag.node dag r0).Dag.output
+
+(* ------------------------------------------------------------------ *)
+(* CSE                                                                 *)
+
+let test_cse_identical_apps_collapse () =
+  let app = Helpers.tiny_app () in
+  let dag = Cse.share_apps [ app; app; app ] in
+  (* Identical trees share every node. *)
+  Alcotest.(check int) "fully shared" (App.n_operators app) (Dag.n_nodes dag);
+  Alcotest.(check int) "three sinks" 3 (List.length (Dag.roots dag));
+  Alcotest.(check bool) "validates" true (Dag.validate dag = Ok ())
+
+let test_cse_commutative () =
+  (* (o0 + o1) and (o1 + o0) are the same computation. *)
+  let t1 = Optree.of_spec ~n_object_types:2 (Optree.Op (Optree.Obj 0, Optree.Obj 1)) in
+  let t2 = Optree.of_spec ~n_object_types:2 (Optree.Op (Optree.Obj 1, Optree.Obj 0)) in
+  let objects = Objects.uniform_freq ~sizes:[| 5.0; 6.0 |] ~freq:0.5 in
+  let dag =
+    Cse.share ~objects ~alpha:1.0 ~trees:[ (t1, 1.0); (t2, 2.0) ] ()
+  in
+  Alcotest.(check int) "one shared node" 1 (Dag.n_nodes dag);
+  (* the shared node must run at the faster consumer's rate *)
+  Helpers.alco_float "max rate" 2.0 (Dag.node dag 0).Dag.rate
+
+let test_cse_distinct_stay_distinct () =
+  let t1 = Optree.of_spec ~n_object_types:2 (Optree.Op (Optree.Obj 0, Optree.Obj 0)) in
+  let t2 = Optree.of_spec ~n_object_types:2 (Optree.Op (Optree.Obj 1, Optree.Obj 1)) in
+  let objects = Objects.uniform_freq ~sizes:[| 5.0; 6.0 |] ~freq:0.5 in
+  let dag = Cse.share ~objects ~alpha:1.0 ~trees:[ (t1, 1.0); (t2, 1.0) ] () in
+  Alcotest.(check int) "two nodes" 2 (Dag.n_nodes dag)
+
+let cse_never_grows =
+  qtest ~count:50 "sharing never increases nodes, work or downloads"
+    QCheck.(pair (int_range 0 500) (int_range 1 4))
+    (fun (seed, n_apps) ->
+      let apps, _ = MW.instance ~seed ~n_apps ~n_operators:20 in
+      let s = Cse.savings apps in
+      s.Cse.shared_nodes <= s.Cse.unshared_nodes
+      && s.Cse.shared_work <= s.Cse.unshared_work +. 1e-6
+      && s.Cse.shared_downloads <= s.Cse.unshared_downloads +. 1e-6)
+
+let cse_preserves_roots =
+  qtest ~count:50 "shared DAG keeps one sink per application"
+    QCheck.(pair (int_range 0 500) (int_range 1 4))
+    (fun (seed, n_apps) ->
+      let apps, _ = MW.instance ~seed ~n_apps ~n_operators:15 in
+      let dag = Cse.share_apps apps in
+      Dag.validate dag = Ok ()
+      && List.length (Dag.roots dag) = n_apps)
+
+(* ------------------------------------------------------------------ *)
+(* Dag_check                                                           *)
+
+let two_proc_dag () =
+  (* a (objects) on P0; b consuming a twice... single consumer here:
+     a -> b, b is root. *)
+  let b = Dag.create_builder ~n_object_types:3 in
+  let a = Dag.add_node b ~inputs:[ Dag.Object 0; Dag.Object 1 ] in
+  let c = Dag.add_node b ~inputs:[ Dag.Node a; Dag.Object 2 ] in
+  let dag = Dag.finish b ~objects:(objects3 ()) ~alpha:1.0 ~roots:[ (c, 1.0) ] () in
+  (dag, a, c)
+
+let cfg ?(cpu = 4) ?(nic = 4) () =
+  let c = Insp.Catalog.dell_2008 in
+  { Insp.Catalog.cpu = (Insp.Catalog.cpus c).(cpu); nic = (Insp.Catalog.nics c).(nic) }
+
+let test_dag_check_feasible () =
+  let dag, a, c = two_proc_dag () in
+  let platform = Helpers.tiny_platform () in
+  let alloc =
+    Alloc.make
+      [|
+        { Alloc.config = cfg (); operators = [ a ]; downloads = [ (0, 0); (1, 0) ] };
+        { Alloc.config = cfg (); operators = [ c ]; downloads = [ (2, 1) ] };
+      |]
+  in
+  Alcotest.(check string) "feasible" "feasible"
+    (Check.explain (Dag_check.check dag platform alloc));
+  (* a's output (30 MB at rate 1) crosses the pair link *)
+  Helpers.alco_float "pair flow" 30.0 (Dag_check.pair_flow dag alloc 0 1)
+
+let test_dag_check_stream_dedup () =
+  (* Node a consumed by two nodes on the SAME remote processor: one
+     stream, not two. *)
+  let b = Dag.create_builder ~n_object_types:3 in
+  let a = Dag.add_node b ~inputs:[ Dag.Object 0; Dag.Object 1 ] in
+  let c1 = Dag.add_node b ~inputs:[ Dag.Node a; Dag.Object 2 ] in
+  let c2 = Dag.add_node b ~inputs:[ Dag.Node a ] in
+  let dag =
+    Dag.finish b ~objects:(objects3 ()) ~alpha:1.0
+      ~roots:[ (c1, 1.0); (c2, 2.0) ]
+      ()
+  in
+  let platform = Helpers.tiny_platform () in
+  let alloc =
+    Alloc.make
+      [|
+        { Alloc.config = cfg (); operators = [ a ]; downloads = [ (0, 0); (1, 0) ] };
+        { Alloc.config = cfg (); operators = [ c1; c2 ]; downloads = [ (2, 1) ] };
+      |]
+  in
+  Alcotest.(check string) "feasible" "feasible"
+    (Check.explain (Dag_check.check dag platform alloc));
+  (* one stream at the fastest consuming rate: 30 MB * max(1,2) = 60 *)
+  Helpers.alco_float "dedup at max rate" 60.0 (Dag_check.pair_flow dag alloc 0 1);
+  let d = Dag_check.proc_demand dag alloc 0 in
+  Helpers.alco_float "comm_out deduped" 60.0 d.Dag_check.comm_out;
+  (* conservative group demand counts both consumers *)
+  let g = Dag_check.group_demand dag [ a ] in
+  Helpers.alco_float "conservative comm_out" 90.0 g.Dag_check.comm_out
+
+let test_dag_check_rate_weighted_compute () =
+  let dag, a, c = two_proc_dag () in
+  ignore c;
+  let platform = Helpers.tiny_platform () in
+  (* put everything on one tiny CPU and scale rates via a faster root *)
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ~cpu:0 ();
+          operators = [ 0; 1 ];
+          downloads = [ (0, 0); (1, 0); (2, 1) ];
+        };
+      |]
+  in
+  ignore a;
+  let d = Dag_check.proc_demand dag alloc 0 in
+  (* w_a = 30, w_c = 70, rates 1 -> 100 Mops/s *)
+  Helpers.alco_float "compute" 100.0 d.Dag_check.compute;
+  Alcotest.(check string) "fits cheapest" "feasible"
+    (Check.explain (Dag_check.check dag platform alloc))
+
+(* ------------------------------------------------------------------ *)
+(* Dag_place                                                           *)
+
+let place_outcomes_feasible =
+  qtest ~count:40 "DAG placement outcomes pass the DAG checker"
+    QCheck.(triple (int_range 0 500) (int_range 1 4) (int_range 5 25))
+    (fun (seed, n_apps, n) ->
+      let apps, platform = MW.instance ~seed ~n_apps ~n_operators:n in
+      List.for_all
+        (fun dag ->
+          match Dag_place.run dag platform with
+          | Ok o -> Dag_check.check dag platform o.Dag_place.alloc = []
+          | Error _ -> true)
+        [ Dag.of_apps apps; Cse.share_apps apps ])
+
+let sharing_never_costs_more_often =
+  qtest ~count:30 "sharing is not systematically worse"
+    QCheck.(int_range 0 300)
+    (fun seed ->
+      let apps, platform = MW.instance ~seed ~n_apps:3 ~n_operators:20 in
+      match
+        ( Dag_place.run (Dag.of_apps apps) platform,
+          Dag_place.run (Cse.share_apps apps) platform )
+      with
+      | Ok unshared, Ok shared ->
+        (* Allow heuristic noise of one chassis. *)
+        shared.Dag_place.cost
+        <= unshared.Dag_place.cost +. 8000.0
+      | _ -> true)
+
+let test_single_app_dag_close_to_tree_sbu () =
+  (* On a single application the DAG placer and the tree SBU should give
+     costs in the same ballpark (identical model). *)
+  let inst = Helpers.instance ~n:25 ~seed:4 () in
+  let app = inst.Insp.Instance.app in
+  let platform = inst.Insp.Instance.platform in
+  let dag = Dag.of_apps [ app ] in
+  let tree_cost =
+    match
+      Insp.Solve.run ~seed:4
+        (Option.get (Insp.Solve.find "sbu"))
+        app platform
+    with
+    | Ok o -> o.Insp.Solve.cost
+    | Error f -> Alcotest.fail (Insp.Solve.failure_message f)
+  in
+  match Dag_place.run dag platform with
+  | Error f -> Alcotest.fail (Dag_place.failure_message f)
+  | Ok o ->
+    let ratio = o.Dag_place.cost /. tree_cost in
+    Alcotest.(check bool)
+      (Printf.sprintf "within 2x (ratio %.2f)" ratio)
+      true
+      (ratio > 0.5 && ratio < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dag_runtime                                                         *)
+
+let test_dag_runtime_rejects_mixed_rates () =
+  let b = Dag.create_builder ~n_object_types:3 in
+  let a = Dag.add_node b ~inputs:[ Dag.Object 0; Dag.Object 1 ] in
+  let c = Dag.add_node b ~inputs:[ Dag.Node a; Dag.Object 2 ] in
+  let dag =
+    Dag.finish b ~objects:(objects3 ()) ~alpha:1.0
+      ~roots:[ (c, 1.0); (a, 2.0) ]
+      ()
+  in
+  let platform = Helpers.tiny_platform () in
+  match Insp.Dag_place.run dag platform with
+  | Error f -> Alcotest.fail (Insp.Dag_place.failure_message f)
+  | Ok o ->
+    Alcotest.check_raises "mixed rates rejected"
+      (Invalid_argument "Dag_runtime.run: mixed node rates are not supported")
+      (fun () ->
+        ignore (Insp.Dag_runtime.run dag platform o.Insp.Dag_place.alloc))
+
+let dag_mappings_sustain_in_execution =
+  qtest ~count:12 "feasible DAG mappings sustain every application's rho"
+    QCheck.(pair (int_range 0 200) (int_range 1 3))
+    (fun (seed, n_apps) ->
+      let apps, platform = MW.instance ~seed ~n_apps ~n_operators:15 in
+      let dag = Cse.share_apps apps in
+      match Insp.Dag_place.run dag platform with
+      | Error _ -> true
+      | Ok o ->
+        let r =
+          Insp.Dag_runtime.run ~horizon:240.0 dag platform
+            o.Insp.Dag_place.alloc
+        in
+        Insp.Dag_runtime.sustains_target r
+        && r.Insp.Runtime.results_completed > 0
+        && r.Insp.Runtime.download_delivered
+           >= 0.9 *. r.Insp.Runtime.download_ideal)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let correlated_trees_valid =
+  qtest ~count:60 "correlated trees are valid and sized"
+    QCheck.(triple (int_range 0 1000) (int_range 1 5) (int_range 4 40))
+    (fun (seed, n_apps, n) ->
+      let trees =
+        MW.correlated_trees (Prng.create seed) ~n_apps ~n_operators:n
+          ~n_object_types:15 ()
+      in
+      List.length trees = n_apps
+      && List.for_all
+           (fun t ->
+             Optree.validate t = Ok () && Optree.n_operators t = n)
+           trees)
+
+let test_correlated_share_more_than_independent () =
+  (* With share_prob 1.0 vs 0.0, the hash-consed DAG must be smaller. *)
+  let mk prob seed =
+    let rng = Prng.create seed in
+    let trees =
+      MW.correlated_trees rng ~n_apps:3 ~n_operators:21 ~n_object_types:15
+        ~share_prob:prob ()
+    in
+    let objects =
+      Objects.uniform_freq ~sizes:(Array.make 15 10.0) ~freq:0.5
+    in
+    let dag =
+      Cse.share ~objects ~alpha:1.0 ~trees:(List.map (fun t -> (t, 1.0)) trees) ()
+    in
+    Dag.n_nodes dag
+  in
+  let shared = mk 1.0 7 and independent = mk 0.0 7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more sharing -> smaller DAG (%d < %d)" shared independent)
+    true (shared < independent)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "builder basic" `Quick test_builder_basic;
+          Alcotest.test_case "builder validation" `Quick
+            test_builder_validation;
+          Alcotest.test_case "of_apps" `Quick test_of_apps;
+        ] );
+      ( "cse",
+        [
+          Alcotest.test_case "identical apps collapse" `Quick
+            test_cse_identical_apps_collapse;
+          Alcotest.test_case "commutative" `Quick test_cse_commutative;
+          Alcotest.test_case "distinct stay distinct" `Quick
+            test_cse_distinct_stay_distinct;
+          cse_never_grows;
+          cse_preserves_roots;
+        ] );
+      ( "dag_check",
+        [
+          Alcotest.test_case "feasible two-proc" `Quick test_dag_check_feasible;
+          Alcotest.test_case "stream dedup" `Quick test_dag_check_stream_dedup;
+          Alcotest.test_case "rate-weighted compute" `Quick
+            test_dag_check_rate_weighted_compute;
+        ] );
+      ( "dag_place",
+        [
+          Alcotest.test_case "single app vs tree SBU" `Quick
+            test_single_app_dag_close_to_tree_sbu;
+          place_outcomes_feasible;
+          sharing_never_costs_more_often;
+        ] );
+      ( "dag_runtime",
+        [
+          Alcotest.test_case "mixed rates rejected" `Quick
+            test_dag_runtime_rejects_mixed_rates;
+          dag_mappings_sustain_in_execution;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "share prob effect" `Quick
+            test_correlated_share_more_than_independent;
+          correlated_trees_valid;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for the simulation substrate: max-min fair sharing and the
+   discrete-event runtime, including cross-validation against the
+   analytic constraint checker. *)
+
+module Fair_share = Insp.Fair_share
+module Runtime = Insp.Runtime
+module Solve = Insp.Solve
+module Alloc = Insp.Alloc
+module Check = Insp.Check
+module Catalog = Insp.Catalog
+
+let qtest = Helpers.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Fair share                                                          *)
+
+let test_single_flow_min_cap () =
+  let rates =
+    Fair_share.compute ~caps:[| 10.0; 4.0; 7.0 |]
+      ~membership:[| [ 0; 1; 2 ] |]
+  in
+  Helpers.alco_float "min of caps" 4.0 rates.(0)
+
+let test_equal_split () =
+  let rates =
+    Fair_share.compute ~caps:[| 9.0 |] ~membership:[| [ 0 ]; [ 0 ]; [ 0 ] |]
+  in
+  Array.iter (fun r -> Helpers.alco_float "third" 3.0 r) rates
+
+let test_progressive_filling () =
+  (* Two flows share link 0 (cap 10); flow 1 also crosses link 1 (cap
+     3).  Max-min: flow1 = 3, flow0 = 7. *)
+  let rates =
+    Fair_share.compute ~caps:[| 10.0; 3.0 |]
+      ~membership:[| [ 0 ]; [ 0; 1 ] |]
+  in
+  Helpers.alco_float "constrained flow" 3.0 rates.(1);
+  Helpers.alco_float "unconstrained takes rest" 7.0 rates.(0)
+
+let test_fair_share_zero_cap () =
+  let rates =
+    Fair_share.compute ~caps:[| 0.0 |] ~membership:[| [ 0 ]; [ 0 ] |]
+  in
+  Array.iter (fun r -> Helpers.alco_float "starved" 0.0 r) rates
+
+let fair_share_gen =
+  QCheck.make
+    ~print:(fun (seed, nf, nc) -> Printf.sprintf "seed=%d f=%d c=%d" seed nf nc)
+    QCheck.Gen.(triple (0 -- 5000) (1 -- 12) (1 -- 6))
+
+let fair_share_is_max_min =
+  qtest ~count:300 "progressive filling yields max-min fairness"
+    fair_share_gen (fun (seed, n_flows, n_caps) ->
+      let rng = Insp.Prng.create seed in
+      let caps =
+        Array.init n_caps (fun _ -> Insp.Prng.float_range rng 1.0 20.0)
+      in
+      let membership =
+        Array.init n_flows (fun _ ->
+            let k = Insp.Prng.int_range rng 1 n_caps in
+            Insp.Prng.sample_without_replacement rng k n_caps)
+      in
+      let rates = Fair_share.compute ~caps ~membership in
+      Fair_share.is_max_min ~caps ~membership ~rates)
+
+let fair_share_conserves =
+  qtest ~count:300 "no constraint oversubscribed" fair_share_gen
+    (fun (seed, n_flows, n_caps) ->
+      let rng = Insp.Prng.create seed in
+      let caps =
+        Array.init n_caps (fun _ -> Insp.Prng.float_range rng 1.0 20.0)
+      in
+      let membership =
+        Array.init n_flows (fun _ ->
+            let k = Insp.Prng.int_range rng 1 n_caps in
+            Insp.Prng.sample_without_replacement rng k n_caps)
+      in
+      let rates = Fair_share.compute ~caps ~membership in
+      let load = Array.make n_caps 0.0 in
+      Array.iteri
+        (fun f ms -> List.iter (fun c -> load.(c) <- load.(c) +. rates.(f)) ms)
+        membership;
+      Array.for_all2 (fun l c -> l <= c +. 1e-6) load caps)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+
+let sbu = List.find (fun h -> h.Solve.key = "sbu") Solve.all
+
+let test_runtime_tiny_feasible () =
+  let app = Helpers.tiny_app () in
+  let platform = Helpers.tiny_platform () in
+  match Solve.run ~seed:1 sbu app platform with
+  | Error f -> Alcotest.fail (Solve.failure_message f)
+  | Ok o ->
+    let r = Runtime.run app platform o.Solve.alloc in
+    Alcotest.(check bool) "sustains rho" true (Runtime.sustains_target r);
+    Alcotest.(check bool) "made results" true (r.Runtime.results_completed > 0);
+    Alcotest.(check bool) "downloads delivered" true
+      (r.Runtime.download_delivered >= 0.95 *. r.Runtime.download_ideal)
+
+let test_runtime_deterministic () =
+  let inst = Helpers.instance ~n:15 ~seed:5 () in
+  match Solve.run ~seed:5 sbu inst.Insp.Instance.app inst.Insp.Instance.platform with
+  | Error f -> Alcotest.fail (Solve.failure_message f)
+  | Ok o ->
+    let run () =
+      Runtime.run inst.Insp.Instance.app inst.Insp.Instance.platform
+        o.Solve.alloc
+    in
+    let a = run () and b = run () in
+    Alcotest.(check int) "same events" a.Runtime.events b.Runtime.events;
+    Helpers.alco_float "same throughput" a.Runtime.achieved_throughput
+      b.Runtime.achieved_throughput
+
+let test_runtime_detects_compute_overload () =
+  (* Downgrade every processor to the cheapest model: compute and NIC
+     overload must show up as lost throughput. *)
+  let inst = Helpers.instance ~n:25 ~alpha:1.2 ~seed:9 () in
+  let app = inst.Insp.Instance.app in
+  let platform = inst.Insp.Instance.platform in
+  match Solve.run ~seed:9 sbu app platform with
+  | Error f -> Alcotest.fail (Solve.failure_message f)
+  | Ok o ->
+    let broken = ref o.Solve.alloc in
+    for u = 0 to Alloc.n_procs o.Solve.alloc - 1 do
+      broken := Alloc.with_config !broken u (Catalog.cheapest Catalog.dell_2008)
+    done;
+    Alcotest.(check bool) "checker rejects" true
+      (Check.check app platform !broken <> []);
+    let r = Runtime.run app platform !broken in
+    Alcotest.(check bool) "throughput collapses" true
+      (r.Runtime.achieved_throughput < 0.9 *. r.Runtime.target_throughput)
+
+let test_runtime_rejects_partial_alloc () =
+  let app = Helpers.tiny_app () in
+  let platform = Helpers.tiny_platform () in
+  let partial =
+    Alloc.make
+      [|
+        {
+          Alloc.config = Catalog.best Catalog.dell_2008;
+          operators = [ 0; 1 ];
+          downloads = [ (0, 0); (1, 0) ];
+        };
+      |]
+  in
+  Alcotest.check_raises "unassigned rejected"
+    (Invalid_argument "Runtime.run: unassigned operator") (fun () ->
+      ignore (Runtime.run app platform partial))
+
+(* The headline cross-validation: checker-feasible => simulator
+   sustains the target throughput. *)
+let feasible_mappings_sustain_rho =
+  qtest ~count:20 "checker-feasible mappings sustain rho in simulation"
+    Helpers.instance_case (fun case ->
+      let inst = Helpers.instance_of_case case in
+      let app = inst.Insp.Instance.app in
+      let platform = inst.Insp.Instance.platform in
+      match Solve.run ~seed:2 sbu app platform with
+      | Error _ -> true
+      | Ok o ->
+        let r = Runtime.run ~horizon:240.0 app platform o.Solve.alloc in
+        Runtime.sustains_target r)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "fair_share",
+        [
+          Alcotest.test_case "single flow" `Quick test_single_flow_min_cap;
+          Alcotest.test_case "equal split" `Quick test_equal_split;
+          Alcotest.test_case "progressive filling" `Quick
+            test_progressive_filling;
+          Alcotest.test_case "zero cap" `Quick test_fair_share_zero_cap;
+          fair_share_is_max_min;
+          fair_share_conserves;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "tiny feasible sustains" `Quick
+            test_runtime_tiny_feasible;
+          Alcotest.test_case "deterministic" `Quick test_runtime_deterministic;
+          Alcotest.test_case "detects overload" `Quick
+            test_runtime_detects_compute_overload;
+          Alcotest.test_case "rejects partial alloc" `Quick
+            test_runtime_rejects_partial_alloc;
+          feasible_mappings_sustain_rho;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for the application model: object catalog, operator trees,
+   generators, cost propagation, metrics and DOT export. *)
+
+module Objects = Insp.Objects
+module Optree = Insp.Optree
+module App = Insp.App
+module Generate = Insp.Generate
+module Prng = Insp.Prng
+
+let qtest = Helpers.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Objects                                                             *)
+
+let test_objects_basic () =
+  let o = Objects.make ~sizes:[| 10.0; 20.0 |] ~freqs:[| 0.5; 0.02 |] in
+  Alcotest.(check int) "count" 2 (Objects.count o);
+  Helpers.alco_float "size" 20.0 (Objects.size o 1);
+  Helpers.alco_float "rate = size*freq" 5.0 (Objects.rate o 0);
+  Helpers.alco_float "low rate" 0.4 (Objects.rate o 1);
+  let o' = Objects.with_freq o 0.1 in
+  Helpers.alco_float "with_freq keeps size" 10.0 (Objects.size o' 0);
+  Helpers.alco_float "with_freq rate" 1.0 (Objects.rate o' 0)
+
+let test_objects_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Objects.make: empty catalog")
+    (fun () -> ignore (Objects.make ~sizes:[||] ~freqs:[||]));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Objects.make: sizes and freqs length mismatch")
+    (fun () -> ignore (Objects.make ~sizes:[| 1.0 |] ~freqs:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Objects.make: non-positive size") (fun () ->
+      ignore (Objects.make ~sizes:[| 0.0 |] ~freqs:[| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Optree structure                                                    *)
+
+let fig1a_tree () =
+  (* The paper's Figure 1(a) shape; our ids are preorder, so they differ
+     from the paper's labels. *)
+  let open Optree in
+  of_spec ~n_object_types:3
+    (Op (Op (Op1 (Obj 0), Op (Obj 0, Obj 1)), Op (Obj 1, Obj 2)))
+
+let test_preorder_ids () =
+  let t = fig1a_tree () in
+  Alcotest.(check int) "n_operators" 5 (Optree.n_operators t);
+  Alcotest.(check int) "root" 0 (Optree.root t);
+  Alcotest.(check (list int)) "preorder" [ 0; 1; 2; 3; 4 ] (Optree.preorder t);
+  Alcotest.(check (list int)) "postorder" [ 2; 3; 1; 4; 0 ]
+    (Optree.postorder t);
+  Alcotest.(check (list int)) "root children" [ 1; 4 ] (Optree.children t 0);
+  Alcotest.(check (option int)) "parent of 3" (Some 1) (Optree.parent t 3);
+  Alcotest.(check (option int)) "root has no parent" None (Optree.parent t 0)
+
+let test_leaves_and_al () =
+  let t = fig1a_tree () in
+  Alcotest.(check (list int)) "n2 leaves" [ 0 ] (Optree.leaves t 2);
+  Alcotest.(check (list int)) "n3 leaves" [ 0; 1 ] (Optree.leaves t 3);
+  Alcotest.(check (list int)) "root leaves" [] (Optree.leaves t 0);
+  Alcotest.(check (list int)) "al operators" [ 2; 3; 4 ] (Optree.al_operators t);
+  Alcotest.(check bool) "n0 not al" false (Optree.is_al_operator t 0);
+  Alcotest.(check bool) "n4 al" true (Optree.is_al_operator t 4)
+
+let test_depth_height_subtree () =
+  let t = fig1a_tree () in
+  Alcotest.(check int) "depth root" 0 (Optree.depth t 0);
+  Alcotest.(check int) "depth n2" 2 (Optree.depth t 2);
+  Alcotest.(check int) "height" 2 (Optree.height t);
+  Alcotest.(check (list int)) "subtree of 1" [ 1; 2; 3 ] (Optree.subtree t 1);
+  Alcotest.(check (list int)) "subtree of leaf op" [ 4 ] (Optree.subtree t 4)
+
+let test_popularity () =
+  let t = fig1a_tree () in
+  (* o0 used by n2 and n3; o1 by n3 and n4; o2 by n4. *)
+  Alcotest.(check (array int)) "popularity" [| 2; 2; 1 |]
+    (Optree.object_popularity t)
+
+let test_leaf_instances () =
+  let t = fig1a_tree () in
+  Alcotest.(check (list (pair int int))) "instances"
+    [ (2, 0); (3, 0); (3, 1); (4, 1); (4, 2) ]
+    (List.sort compare (Optree.leaf_instances t))
+
+let test_of_spec_validation () =
+  Alcotest.check_raises "bare object root"
+    (Invalid_argument "Optree.of_spec: root must be an operator") (fun () ->
+      ignore (Optree.of_spec ~n_object_types:1 (Optree.Obj 0)));
+  Alcotest.check_raises "object out of range"
+    (Invalid_argument "Optree.of_spec: object type out of range") (fun () ->
+      ignore (Optree.of_spec ~n_object_types:1 (Optree.Op1 (Optree.Obj 3))))
+
+let test_validate_ok () =
+  match Optree.validate (fig1a_tree ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_left_deep () =
+  let t = Optree.left_deep ~n_operators:4 ~objects:[| 0; 1; 2; 3; 4 |] in
+  Alcotest.(check int) "ops" 4 (Optree.n_operators t);
+  (* Every operator is an al-operator in a left-deep tree. *)
+  Alcotest.(check (list int)) "all al" [ 0; 1; 2; 3 ] (Optree.al_operators t);
+  Alcotest.(check int) "height = chain" 3 (Optree.height t);
+  Alcotest.(check (list int)) "root leaf is objects[0]" [ 0 ]
+    (Optree.leaves t 0);
+  Alcotest.(check (list int)) "deepest has two leaves" [ 3; 4 ]
+    (Optree.leaves t 3)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_params = QCheck.(pair (int_range 0 5000) (int_range 1 80))
+
+let gen_shape_valid =
+  qtest "random_shape structurally valid" gen_params (fun (seed, n) ->
+      let t =
+        Generate.random_shape (Prng.create seed) ~n_operators:n
+          ~n_object_types:15
+      in
+      Optree.validate t = Ok ())
+
+let gen_shape_counts =
+  qtest "random_shape has N ops and N+1 leaf instances" gen_params
+    (fun (seed, n) ->
+      let t =
+        Generate.random_shape (Prng.create seed) ~n_operators:n
+          ~n_object_types:15
+      in
+      Optree.n_operators t = n
+      && List.length (Optree.leaf_instances t) = n + 1)
+
+let gen_shape_binary =
+  qtest "random_shape operators have exactly two inputs" gen_params
+    (fun (seed, n) ->
+      let t =
+        Generate.random_shape (Prng.create seed) ~n_operators:n
+          ~n_object_types:15
+      in
+      List.for_all
+        (fun i ->
+          List.length (Optree.children t i) + List.length (Optree.leaves t i)
+          = 2)
+        (Optree.preorder t))
+
+let gen_balanced_height =
+  qtest "balanced_shape has logarithmic height"
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let t = Generate.balanced_shape ~n_operators:n ~n_object_types:5 in
+      let limit =
+        2 + int_of_float (Float.ceil (Float.log2 (float_of_int (n + 1))))
+      in
+      Optree.validate t = Ok () && Optree.height t <= limit)
+
+let gen_left_deep_valid =
+  qtest "random_left_deep valid and all-al" gen_params (fun (seed, n) ->
+      let t =
+        Generate.random_left_deep (Prng.create seed) ~n_operators:n
+          ~n_object_types:15
+      in
+      Optree.validate t = Ok () && List.length (Optree.al_operators t) = n)
+
+let gen_sizes_in_range =
+  qtest "random_sizes in range"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let sizes =
+        Generate.random_sizes (Prng.create seed) ~n_object_types:15 ~lo:5.0
+          ~hi:30.0
+      in
+      Array.length sizes = 15
+      && Array.for_all (fun s -> s >= 5.0 && s < 30.0) sizes)
+
+(* ------------------------------------------------------------------ *)
+(* App cost propagation                                                *)
+
+let test_app_tiny_values () =
+  let app = Helpers.tiny_app () in
+  Helpers.alco_float "w1" 30.0 (App.work app 1);
+  Helpers.alco_float "w3" 10.0 (App.work app 3);
+  Helpers.alco_float "w2" 50.0 (App.work app 2);
+  Helpers.alco_float "w0" 80.0 (App.work app 0);
+  Helpers.alco_float "d0" 80.0 (App.output_size app 0);
+  Helpers.alco_float "total leaf mass = root output" (App.total_leaf_mass app)
+    (App.output_size app 0);
+  Helpers.alco_float "edge weight n2" 50.0 (App.edge_weight app 2);
+  Helpers.alco_float "edge weight root" 0.0 (App.edge_weight app 0);
+  Alcotest.(check int) "heaviest is root" 0 (App.heaviest_operator app);
+  Helpers.alco_float "download rate o2" 20.0 (App.download_rate app 2)
+
+let test_app_alpha_and_base () =
+  let tree =
+    Optree.of_spec ~n_object_types:1 (Optree.Op (Optree.Obj 0, Optree.Obj 0))
+  in
+  let objects = Objects.uniform_freq ~sizes:[| 4.0 |] ~freq:1.0 in
+  let app = App.make ~tree ~objects ~alpha:2.0 () in
+  Helpers.alco_float "w = (4+4)^2" 64.0 (App.work app 0);
+  let app =
+    App.make ~base_work:100.0 ~work_factor:0.5 ~tree ~objects ~alpha:2.0 ()
+  in
+  Helpers.alco_float "w = 100 + 0.5*64" 132.0 (App.work app 0);
+  let app = App.make ~rho:3.0 ~tree ~objects ~alpha:1.0 () in
+  Helpers.alco_float "comm_volume scales with rho" 24.0 (App.comm_volume app 0)
+
+let test_app_validation () =
+  let tree =
+    Optree.of_spec ~n_object_types:2 (Optree.Op (Optree.Obj 0, Optree.Obj 1))
+  in
+  let objects = Objects.uniform_freq ~sizes:[| 1.0 |] ~freq:1.0 in
+  Alcotest.check_raises "catalog too small"
+    (Invalid_argument
+       "App.make: tree references more object types than catalog") (fun () ->
+      ignore (App.make ~tree ~objects ~alpha:1.0 ()))
+
+let app_output_additive =
+  qtest "root output = total leaf mass (additive outputs)" gen_params
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let tree = Generate.random_shape rng ~n_operators:n ~n_object_types:15 in
+      let sizes =
+        Generate.random_sizes rng ~n_object_types:15 ~lo:5.0 ~hi:30.0
+      in
+      let objects = Objects.uniform_freq ~sizes ~freq:0.5 in
+      let app = App.make ~tree ~objects ~alpha:0.9 () in
+      Helpers.float_eq ~eps:1e-6 (App.total_leaf_mass app)
+        (App.output_size app 0))
+
+let app_work_monotone_in_alpha =
+  qtest "work grows with alpha (inputs > 1 MB)" gen_params (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let tree = Generate.random_shape rng ~n_operators:n ~n_object_types:15 in
+      let sizes =
+        Generate.random_sizes rng ~n_object_types:15 ~lo:5.0 ~hi:30.0
+      in
+      let objects = Objects.uniform_freq ~sizes ~freq:0.5 in
+      let lo = App.make ~tree ~objects ~alpha:0.9 () in
+      let hi = App.make ~tree ~objects ~alpha:1.4 () in
+      List.for_all
+        (fun i -> App.work hi i >= App.work lo i)
+        (Optree.preorder tree))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics and DOT                                                     *)
+
+let test_metrics () =
+  let app = Helpers.tiny_app () in
+  let m = Insp.Tree_metrics.compute app in
+  Alcotest.(check int) "ops" 4 m.Insp.Tree_metrics.n_operators;
+  Alcotest.(check int) "al ops" 3 m.Insp.Tree_metrics.n_al_operators;
+  Alcotest.(check int) "leaf instances" 4 m.Insp.Tree_metrics.n_leaf_instances;
+  Alcotest.(check int) "objects used" 3
+    m.Insp.Tree_metrics.distinct_objects_used;
+  Helpers.alco_float "total work" 170.0 m.Insp.Tree_metrics.total_work;
+  (* downloads: n1 needs o0+o1 (5+10), n3 needs o0 (5), n2 needs o2 (20) *)
+  Helpers.alco_float "download demand" 40.0
+    m.Insp.Tree_metrics.total_download_rate
+
+let test_dot () =
+  let app = Helpers.tiny_app () in
+  let dot = Insp.Dot.of_app app in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "has n3" true (contains "n3");
+  Alcotest.(check bool) "has leaf" true (contains "leaf0");
+  Alcotest.(check bool) "edge" true (contains "n1 -> n0")
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "objects",
+        [
+          Alcotest.test_case "basic" `Quick test_objects_basic;
+          Alcotest.test_case "validation" `Quick test_objects_validation;
+        ] );
+      ( "optree",
+        [
+          Alcotest.test_case "preorder ids" `Quick test_preorder_ids;
+          Alcotest.test_case "leaves and al-ops" `Quick test_leaves_and_al;
+          Alcotest.test_case "depth/height/subtree" `Quick
+            test_depth_height_subtree;
+          Alcotest.test_case "popularity" `Quick test_popularity;
+          Alcotest.test_case "leaf instances" `Quick test_leaf_instances;
+          Alcotest.test_case "of_spec validation" `Quick
+            test_of_spec_validation;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "left-deep" `Quick test_left_deep;
+        ] );
+      ( "generate",
+        [
+          gen_shape_valid;
+          gen_shape_counts;
+          gen_shape_binary;
+          gen_balanced_height;
+          gen_left_deep_valid;
+          gen_sizes_in_range;
+        ] );
+      ( "app",
+        [
+          Alcotest.test_case "tiny values" `Quick test_app_tiny_values;
+          Alcotest.test_case "alpha/base/factor/rho" `Quick
+            test_app_alpha_and_base;
+          Alcotest.test_case "validation" `Quick test_app_validation;
+          app_output_additive;
+          app_work_monotone_in_alpha;
+        ] );
+      ( "metrics+dot",
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "dot export" `Quick test_dot;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Unit and property tests for Insp_util: PRNG, statistics, tables, CSV,
+   heap, union-find. *)
+
+module Prng = Insp.Prng
+module Stats = Insp.Stats
+module Table = Insp.Table
+module Csv = Insp.Csv
+module Heap = Insp.Heap
+module Union_find = Insp.Union_find
+
+let qtest = Helpers.qtest
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  let va = Prng.next_int64 a in
+  let vb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy replays" va vb;
+  ignore (Prng.next_int64 a);
+  let va2 = Prng.next_int64 a and vb2 = Prng.next_int64 b in
+  Alcotest.(check bool) "then diverges by position" true (va2 <> vb2 || va = vb)
+
+let test_prng_split_changes_parent () =
+  let a = Prng.create 9 and b = Prng.create 9 in
+  ignore (Prng.split a);
+  (* split consumes one draw from the parent *)
+  ignore (Prng.next_int64 b);
+  Alcotest.(check int64) "parent advanced once" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let prng_float_in_range =
+  qtest "float in [0,1)" QCheck.(int_range 0 100000) (fun seed ->
+      let rng = Prng.create seed in
+      let x = Prng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let prng_int_in_bound =
+  qtest "int in [0,bound)"
+    QCheck.(pair (int_range 0 10000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let prng_int_range_inclusive =
+  qtest "int_range inclusive"
+    QCheck.(triple (int_range 0 1000) (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Prng.create seed in
+      let x = Prng.int_range rng lo (lo + span) in
+      x >= lo && x <= lo + span)
+
+let prng_shuffle_is_permutation =
+  qtest "shuffle permutes"
+    QCheck.(pair (int_range 0 1000) (list_of_size Gen.(0 -- 30) int))
+    (fun (seed, l) ->
+      let rng = Prng.create seed in
+      let shuffled = Prng.shuffle_list rng l in
+      List.sort compare shuffled = List.sort compare l)
+
+let prng_sample_distinct =
+  qtest "sample without replacement"
+    QCheck.(pair (int_range 0 1000) (int_range 0 40))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let k = if n = 0 then 0 else n / 2 in
+      let sample = Prng.sample_without_replacement rng k n in
+      List.length sample = k
+      && List.length (List.sort_uniq compare sample) = k
+      && List.for_all (fun x -> x >= 0 && x < n) sample)
+
+let test_prng_int_covers_values () =
+  let rng = Prng.create 5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_known () =
+  Helpers.alco_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  Helpers.alco_float "variance" (5.0 /. 3.0)
+    (Stats.variance [ 1.0; 2.0; 3.0; 4.0 ]);
+  Helpers.alco_float "median even" 2.5 (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]);
+  Helpers.alco_float "median odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  Helpers.alco_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  Helpers.alco_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  Helpers.alco_float "p0" 1.0 (Stats.percentile 0.0 [ 1.0; 2.0; 3.0 ]);
+  Helpers.alco_float "p100" 3.0 (Stats.percentile 100.0 [ 1.0; 2.0; 3.0 ]);
+  Helpers.alco_float "p50 interpolates" 2.0
+    (Stats.percentile 50.0 [ 1.0; 2.0; 3.0 ]);
+  Helpers.alco_float "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_empty () =
+  Helpers.alco_float "mean empty" 0.0 (Stats.mean []);
+  Helpers.alco_float "variance singleton" 0.0 (Stats.variance [ 5.0 ]);
+  Alcotest.check_raises "median empty"
+    (Invalid_argument "Stats.median: empty list") (fun () ->
+      ignore (Stats.median []))
+
+let stats_mean_bounded =
+  qtest "mean within min..max"
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let m = Stats.mean l in
+      m >= Stats.minimum l -. 1e-9 && m <= Stats.maximum l +. 1e-9)
+
+let stats_stddev_nonneg =
+  qtest "stddev >= 0"
+    QCheck.(list_of_size Gen.(0 -- 40) (float_bound_exclusive 1000.0))
+    (fun l -> Stats.stddev l >= 0.0)
+
+let stats_summary_consistent =
+  qtest "summary consistent"
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let s = Stats.summarize l in
+      s.Stats.count = List.length l
+      && s.Stats.min <= s.Stats.median
+      && s.Stats.median <= s.Stats.max)
+
+(* ------------------------------------------------------------------ *)
+(* Table and CSV                                                       *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  let count_char c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s in
+  Alcotest.(check bool) "has rules" true (count_char '+' >= 12);
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "cell x" true (contains "x");
+  Alcotest.(check bool) "cell longer" true (contains "longer")
+
+let test_table_short_row_padded () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row t [ "only" ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_table_too_many_cells () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_cell_float () =
+  Alcotest.(check string) "finite" "1.50" (Table.cell_float 1.5);
+  Alcotest.(check string) "nan" "-" (Table.cell_float Float.nan);
+  Alcotest.(check string) "none" "-" (Table.cell_opt_float None);
+  Alcotest.(check string) "some" "2.0" (Table.cell_opt_float ~decimals:1 (Some 2.0))
+
+let test_csv_quoting () =
+  let c = Csv.create [ "name"; "value" ] in
+  Csv.add_row c [ "plain"; "1" ];
+  Csv.add_row c [ "with,comma"; "say \"hi\"" ];
+  Csv.add_floats c [ 1.5; Float.nan ];
+  let s = Csv.to_string c in
+  Alcotest.(check string) "rfc4180"
+    "name,value\nplain,1\n\"with,comma\",\"say \"\"hi\"\"\"\n1.5,\n" s
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "peek" (Some (1.0, "a"))
+    (Heap.peek h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "pop a" (Some (1.0, "a"))
+    (Heap.pop h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "pop b" (Some (2.0, "b"))
+    (Heap.pop h);
+  Alcotest.(check (option (pair (float 1e-9) string))) "pop c" (Some (3.0, "c"))
+    (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.pop h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let heap_drains_sorted =
+  qtest "drains in sorted order"
+    QCheck.(list_of_size Gen.(0 -- 100) (float_bound_exclusive 100.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare keys)
+
+let heap_matches_sorted_list =
+  qtest "to_sorted_list non-destructive"
+    QCheck.(list_of_size Gen.(0 -- 50) (float_bound_exclusive 100.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let sorted = Heap.to_sorted_list h in
+      List.length sorted = Heap.size h
+      && List.map fst sorted = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check bool) "initially disjoint" false (Union_find.same uf 0 1);
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "0~1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "2~3" true (Union_find.same uf 2 3);
+  Alcotest.(check bool) "0!~2" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "0~3 transitively" true (Union_find.same uf 0 3);
+  Alcotest.(check int) "size" 4 (Union_find.size uf 2);
+  Alcotest.(check int) "singleton size" 1 (Union_find.size uf 5);
+  Alcotest.(check (list (list int))) "groups"
+    [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ]
+    (Union_find.groups uf)
+
+let uf_union_commutes =
+  qtest "union order irrelevant"
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let a = Union_find.create 20 and b = Union_find.create 20 in
+      List.iter (fun (x, y) -> ignore (Union_find.union a x y)) pairs;
+      List.iter (fun (x, y) -> ignore (Union_find.union b y x)) (List.rev pairs);
+      Union_find.groups a = Union_find.groups b)
+
+let uf_sizes_sum =
+  qtest "sizes sum to n"
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (x, y) -> ignore (Union_find.union uf x y)) pairs;
+      List.fold_left (fun acc g -> acc + List.length g) 0 (Union_find.groups uf)
+      = 20)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split advances parent" `Quick
+            test_prng_split_changes_parent;
+          Alcotest.test_case "int covers residues" `Quick
+            test_prng_int_covers_values;
+          prng_float_in_range;
+          prng_int_in_bound;
+          prng_int_range_inclusive;
+          prng_shuffle_is_permutation;
+          prng_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "empty/edge" `Quick test_stats_empty;
+          stats_mean_bounded;
+          stats_stddev_nonneg;
+          stats_summary_consistent;
+        ] );
+      ( "table+csv",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short row padded" `Quick test_table_short_row_padded;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "cell formatting" `Quick test_cell_float;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          heap_drains_sorted;
+          heap_matches_sorted_list;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          uf_union_commutes;
+          uf_sizes_sum;
+        ] );
+    ]
