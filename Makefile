@@ -1,0 +1,18 @@
+# Development entry points.  `make check` is the tier-1 gate.
+
+.PHONY: check build test bench clean
+
+check:
+	dune build && dune runtest
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

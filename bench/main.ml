@@ -62,6 +62,133 @@ let run_ablations ~quick () =
     Insp_experiments.Ablations.all
 
 (* ------------------------------------------------------------------ *)
+(* Feasibility-probe throughput: ledger vs from-scratch                *)
+
+(* The pre-ledger prober, kept here as the baseline: every probe
+   recomputes [Demand.of_group] over the candidate member set and the
+   pairwise flow towards *every* live group with [List.mem] membership
+   scans. *)
+module Naive_probe = struct
+  module App = Insp.App
+  module Optree = Insp.Optree
+
+  type group = { mutable members : int list; cfg : Insp.Catalog.config }
+
+  let tolerance = 1e-9
+  let leq v cap = v <= (cap *. (1.0 +. tolerance)) +. tolerance
+
+  let flow_between app g h =
+    let tree = App.tree app and rho = App.rho app in
+    List.fold_left
+      (fun acc m ->
+        let acc =
+          List.fold_left
+            (fun acc c ->
+              if List.mem c h then acc +. (rho *. App.output_size app c)
+              else acc)
+            acc (Optree.children tree m)
+        in
+        match Optree.parent tree m with
+        | Some p when List.mem p h -> acc +. (rho *. App.output_size app m)
+        | Some _ | None -> acc)
+      0.0 g
+
+  let can_host app platform groups ~self ~cfg ~members =
+    Insp.Demand.fits cfg (Insp.Demand.of_group app members)
+    && List.for_all
+         (fun g ->
+           g == self
+           || leq (flow_between app members g.members)
+                platform.Insp.Platform.proc_link)
+         groups
+end
+
+(* Identical greedy first-fit constructions, one per prober, counting
+   feasibility probes.  Returns (probes, groups built). *)
+let greedy_naive app platform =
+  let best = Insp.Catalog.best platform.Insp.Platform.catalog in
+  let dummy = { Naive_probe.members = []; cfg = best } in
+  let groups = ref [] in
+  let probes = ref 0 in
+  for i = 0 to Insp.App.n_operators app - 1 do
+    let placed =
+      List.exists
+        (fun g ->
+          incr probes;
+          if
+            Naive_probe.can_host app platform !groups ~self:g
+              ~cfg:g.Naive_probe.cfg
+              ~members:(i :: g.Naive_probe.members)
+          then begin
+            g.Naive_probe.members <- i :: g.Naive_probe.members;
+            true
+          end
+          else false)
+        !groups
+    in
+    if not placed then begin
+      incr probes;
+      if
+        Naive_probe.can_host app platform !groups ~self:dummy ~cfg:best
+          ~members:[ i ]
+      then groups := !groups @ [ { Naive_probe.members = [ i ]; cfg = best } ]
+    end
+  done;
+  (!probes, List.length !groups)
+
+let greedy_ledger app platform =
+  let best = Insp.Catalog.best platform.Insp.Platform.catalog in
+  let b = Insp.Builder.create app platform in
+  let probes = ref 0 in
+  for i = 0 to Insp.App.n_operators app - 1 do
+    let placed =
+      List.exists
+        (fun gid ->
+          incr probes;
+          Insp.Builder.try_add b gid i)
+        (Insp.Builder.group_ids b)
+    in
+    if not placed then begin
+      incr probes;
+      ignore (Insp.Builder.acquire b ~config:best ~members:[ i ])
+    end
+  done;
+  (!probes, List.length (Insp.Builder.group_ids b))
+
+let run_probe_bench ~quick () =
+  line "feasibility-probe throughput (ledger vs from-scratch)";
+  let inst =
+    Insp.Instance.generate
+      (Insp.Config.make ~n_operators:100 ~alpha:0.9 ~seed:1 ())
+  in
+  let app = inst.Insp.Instance.app in
+  let platform = inst.Insp.Instance.platform in
+  let reps = if quick then 5 else 30 in
+  let time f =
+    let t0 = Sys.time () in
+    let probes = ref 0 and groups = ref 0 in
+    for _ = 1 to reps do
+      let p, g = f app platform in
+      probes := p;
+      groups := g
+    done;
+    let dt = Sys.time () -. t0 in
+    (float_of_int (!probes * reps) /. Float.max dt 1e-9, !probes, !groups)
+  in
+  let tput_naive, probes_n, groups_n = time greedy_naive in
+  let tput_ledger, probes_l, groups_l = time greedy_ledger in
+  Printf.printf
+    "from-scratch: %9.0f probes/s  (%d probes, %d groups per build)\n\
+     ledger:       %9.0f probes/s  (%d probes, %d groups per build)\n\
+     speedup:      %9.1fx\n%!"
+    tput_naive probes_n groups_n tput_ledger probes_l groups_l
+    (tput_ledger /. tput_naive);
+  if groups_n <> groups_l || probes_n <> probes_l then
+    Printf.printf
+      "WARNING: probers diverged (probes %d vs %d, groups %d vs %d)\n%!"
+      probes_n probes_l groups_n groups_l
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment             *)
 
 let fixed_instance ?(n = 60) ?(alpha = 0.9) ?sizes ?freq () =
@@ -200,5 +327,6 @@ let () =
     summarize_rankings ~quick ();
     run_ablations ~quick ()
   end;
+  run_probe_bench ~quick ();
   run_benchmarks ();
   print_newline ()

@@ -42,6 +42,7 @@ module Platform = Insp_platform.Platform
 module Alloc = Insp_mapping.Alloc
 module Demand = Insp_mapping.Demand
 module Check = Insp_mapping.Check
+module Ledger = Insp_mapping.Ledger
 module Cost = Insp_mapping.Cost
 
 (* Heuristics *)

@@ -3,96 +3,117 @@ module Optree = Insp_tree.Optree
 module Catalog = Insp_platform.Catalog
 module Platform = Insp_platform.Platform
 module Demand = Insp_mapping.Demand
+module Ledger = Insp_mapping.Ledger
 
 type group_id = int
 
-type group = { mutable members : int list; mutable cfg : Catalog.config }
-
+(* Groups live in the ledger: one ledger processor per group.  The
+   builder only adds the acquisition order and the probe/commit
+   discipline on top.  All feasibility probes are incremental —
+   O(degree) per probed operator — instead of recomputing
+   [Demand.of_group] (O(|group|²)) and pairwise flows against every
+   group (O(P·|group|)) per probe. *)
 type t = {
   app : App.t;
   platform : Platform.t;
-  groups : (group_id, group) Hashtbl.t;
+  ledger : Ledger.t;
   mutable order : group_id list;  (* acquisition order, reversed *)
-  mutable next_id : group_id;
-  assign : group_id option array;  (* operator -> group *)
 }
 
 let create app platform =
-  {
-    app;
-    platform;
-    groups = Hashtbl.create 32;
-    order = [];
-    next_id = 0;
-    assign = Array.make (App.n_operators app) None;
-  }
+  { app; platform; ledger = Ledger.create app platform; order = [] }
 
 let app t = t.app
 let platform t = t.platform
+let ledger t = t.ledger
 
 let group_ids t = List.rev t.order
 
-let group t gid =
-  match Hashtbl.find_opt t.groups gid with
-  | Some g -> g
-  | None -> invalid_arg "Builder: dead group id"
+let check_live t gid =
+  if not (Ledger.mem_proc t.ledger gid) then
+    invalid_arg "Builder: dead group id"
 
-let members t gid = (group t gid).members
-let config t gid = (group t gid).cfg
-let assignment t i = t.assign.(i)
+let members t gid =
+  check_live t gid;
+  Ledger.operators_of t.ledger gid
+
+let config t gid =
+  check_live t gid;
+  Ledger.config t.ledger gid
+
+let assignment t i = Ledger.assignment t.ledger i
 
 let unassigned t =
   let acc = ref [] in
-  for i = Array.length t.assign - 1 downto 0 do
-    if t.assign.(i) = None then acc := i :: !acc
+  for i = App.n_operators t.app - 1 downto 0 do
+    if Ledger.assignment t.ledger i = None then acc := i :: !acc
   done;
   !acc
 
-let all_assigned t = Array.for_all Option.is_some t.assign
+let all_assigned t =
+  let n = App.n_operators t.app in
+  let rec go i = i >= n || (Ledger.assignment t.ledger i <> None && go (i + 1)) in
+  go 0
 
-let demand t gid = Demand.of_group t.app (members t gid)
-
-(* Flow (MB/s) over the link between two disjoint member sets: tree edges
-   with one endpoint in each. *)
-let flow_between app g h =
-  let tree = App.tree app in
-  let rho = App.rho app in
-  let in_set set i = List.mem i set in
-  let one_way src dst =
-    List.fold_left
-      (fun acc i ->
-        match Optree.parent tree i with
-        | Some p when in_set dst p -> acc +. (rho *. App.output_size app i)
-        | Some _ | None -> acc)
-      0.0 src
-  in
-  one_way g h +. one_way h g
+let demand t gid =
+  check_live t gid;
+  Ledger.demand t.ledger gid
 
 let tolerance = 1e-9
-let leq value capacity = value <= capacity *. (1.0 +. tolerance) +. tolerance
+let leq value capacity = value <= (capacity *. (1.0 +. tolerance)) +. tolerance
+
+let flows_ok t flows =
+  List.for_all (fun (_, f) -> leq f t.platform.Platform.proc_link) flows
+
+(* Pairwise flows of a hypothetical member set towards existing groups,
+   grouped by group.  Only groups adjacent to [members] through a tree
+   edge can carry flow, so only those are visited — the previous
+   implementation recomputed the flow against every live group. *)
+let candidate_flows t ~members ~ignore_groups =
+  let tree = App.tree t.app in
+  let rho = App.rho t.app in
+  let acc = ref [] in
+  let bump v w =
+    if not (List.mem v ignore_groups) then begin
+      let prev = Option.value ~default:0.0 (List.assoc_opt v !acc) in
+      acc := (v, prev +. w) :: List.remove_assoc v !acc
+    end
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun c ->
+          match Ledger.assignment t.ledger c with
+          | Some v -> bump v (rho *. App.output_size t.app c)
+          | None -> ())
+        (Optree.children tree m);
+      match Optree.parent tree m with
+      | Some p -> (
+        match Ledger.assignment t.ledger p with
+        | Some v -> bump v (rho *. App.output_size t.app m)
+        | None -> ())
+      | None -> ())
+    members;
+  !acc
 
 let can_host t ~config ~members ?(ignore_groups = []) () =
   let d = Demand.of_group t.app members in
-  Demand.fits config d
-  && Hashtbl.fold
-       (fun gid g ok ->
-         ok
-         && (List.mem gid ignore_groups
-            || leq
-                 (flow_between t.app members g.members)
-                 t.platform.Platform.proc_link))
-       t.groups true
+  Demand.fits config d && flows_ok t (candidate_flows t ~members ~ignore_groups)
 
 let cheapest_hosting t ~members ?(ignore_groups = []) () =
-  let catalog = t.platform.Platform.catalog in
-  List.find_opt
-    (fun cfg -> can_host t ~config:cfg ~members ~ignore_groups ())
-    (Catalog.configs catalog)
+  (* Demand and flows are config-independent: compute them once and scan
+     the catalog with the cheap capacity test only. *)
+  let d = Demand.of_group t.app members in
+  if not (flows_ok t (candidate_flows t ~members ~ignore_groups)) then None
+  else
+    List.find_opt
+      (fun cfg -> Demand.fits cfg d)
+      (Catalog.configs t.platform.Platform.catalog)
 
 let acquire t ~config ~members =
   List.iter
     (fun i ->
-      if t.assign.(i) <> None then
+      if Ledger.assignment t.ledger i <> None then
         invalid_arg "Builder.acquire: operator already assigned")
     members;
   if not (can_host t ~config ~members ()) then
@@ -100,95 +121,92 @@ let acquire t ~config ~members =
       (Printf.sprintf "cannot host operators {%s} on the requested processor"
          (String.concat ", " (List.map string_of_int members)))
   else begin
-    let gid = t.next_id in
-    t.next_id <- t.next_id + 1;
-    Hashtbl.replace t.groups gid
-      { members = List.sort compare members; cfg = config };
+    let gid = Ledger.add_proc t.ledger config in
+    List.iter (fun i -> Ledger.add_operator t.ledger gid i) members;
     t.order <- gid :: t.order;
-    List.iter (fun i -> t.assign.(i) <- Some gid) members;
     Ok gid
   end
 
 let try_add t gid op =
-  if t.assign.(op) <> None then
+  if Ledger.assignment t.ledger op <> None then
     invalid_arg "Builder.try_add: operator already assigned";
-  let g = group t gid in
-  let candidate = List.sort compare (op :: g.members) in
-  if can_host t ~config:g.cfg ~members:candidate ~ignore_groups:[ gid ] () then begin
-    g.members <- candidate;
-    t.assign.(op) <- Some gid;
+  check_live t gid;
+  let probe = Ledger.probe_add t.ledger gid op in
+  if
+    Demand.fits (Ledger.config t.ledger gid) probe.Ledger.demand
+    && flows_ok t probe.Ledger.pair_flows
+  then begin
+    Ledger.add_operator t.ledger gid op;
     true
   end
   else false
 
 let sell t gid =
-  let g = group t gid in
-  List.iter (fun i -> t.assign.(i) <- None) g.members;
-  Hashtbl.remove t.groups gid;
+  check_live t gid;
+  Ledger.remove_proc t.ledger gid;
   t.order <- List.filter (fun id -> id <> gid) t.order
 
 let try_absorb t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb: same group";
-  let gw = group t winner in
-  let gl = group t loser in
-  let candidate = List.sort compare (gw.members @ gl.members) in
+  check_live t winner;
+  check_live t loser;
+  let probe = Ledger.probe_merge t.ledger ~winner ~loser in
   if
-    can_host t ~config:gw.cfg ~members:candidate
-      ~ignore_groups:[ winner; loser ] ()
+    Demand.fits (Ledger.config t.ledger winner) probe.Ledger.demand
+    && flows_ok t probe.Ledger.pair_flows
   then begin
-    let absorbed = gl.members in
-    sell t loser;
-    gw.members <- candidate;
-    List.iter (fun i -> t.assign.(i) <- Some winner) absorbed;
+    Ledger.merge t.ledger ~winner ~loser;
+    t.order <- List.filter (fun id -> id <> loser) t.order;
     true
   end
   else false
 
+let cheapest_for t probe =
+  if not (flows_ok t probe.Ledger.pair_flows) then None
+  else
+    List.find_opt
+      (fun cfg -> Demand.fits cfg probe.Ledger.demand)
+      (Catalog.configs t.platform.Platform.catalog)
+
 let try_add_upgrade t gid op =
-  if t.assign.(op) <> None then
+  if Ledger.assignment t.ledger op <> None then
     invalid_arg "Builder.try_add_upgrade: operator already assigned";
-  let g = group t gid in
-  let candidate = List.sort compare (op :: g.members) in
-  match cheapest_hosting t ~members:candidate ~ignore_groups:[ gid ] () with
+  check_live t gid;
+  let probe = Ledger.probe_add t.ledger gid op in
+  match cheapest_for t probe with
   | None -> false
   | Some cfg ->
-    g.members <- candidate;
-    g.cfg <- cfg;
-    t.assign.(op) <- Some gid;
+    Ledger.add_operator t.ledger gid op;
+    Ledger.set_config t.ledger gid cfg;
     true
 
 let try_absorb_upgrade t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb_upgrade: same group";
-  let gw = group t winner in
-  let gl = group t loser in
-  let candidate = List.sort compare (gw.members @ gl.members) in
-  match
-    cheapest_hosting t ~members:candidate ~ignore_groups:[ winner; loser ] ()
-  with
+  check_live t winner;
+  check_live t loser;
+  let probe = Ledger.probe_merge t.ledger ~winner ~loser in
+  match cheapest_for t probe with
   | None -> false
   | Some cfg ->
-    let absorbed = gl.members in
-    sell t loser;
-    gw.members <- candidate;
-    gw.cfg <- cfg;
-    List.iter (fun i -> t.assign.(i) <- Some winner) absorbed;
+    Ledger.merge t.ledger ~winner ~loser;
+    Ledger.set_config t.ledger winner cfg;
+    t.order <- List.filter (fun id -> id <> loser) t.order;
     true
 
 let sell_if_empty t gid =
-  match Hashtbl.find_opt t.groups gid with
-  | Some g when g.members = [] -> sell t gid
-  | Some _ | None -> ()
+  if Ledger.mem_proc t.ledger gid && Ledger.operators_of t.ledger gid = []
+  then sell t gid
 
 let release_operator t op =
-  match t.assign.(op) with
+  match Ledger.assignment t.ledger op with
   | None -> ()
   | Some gid ->
-    let g = group t gid in
-    g.members <- List.filter (fun i -> i <> op) g.members;
-    t.assign.(op) <- None;
+    Ledger.remove_operator t.ledger op;
     sell_if_empty t gid
 
-let set_config t gid cfg = (group t gid).cfg <- cfg
+let set_config t gid cfg =
+  check_live t gid;
+  Ledger.set_config t.ledger gid cfg
 
 let finalize t =
   if not (all_assigned t) then

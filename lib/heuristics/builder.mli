@@ -6,8 +6,16 @@
     final-state capacity test: a group's demand ({!Insp_mapping.Demand})
     only decreases when other operators join their neighbours later, so a
     check that passes during construction still passes at validation
-    time.  Pairwise link flows (constraint (5)) are checked against all
-    existing groups on every mutation. *)
+    time.
+
+    Groups are backed by an {!Insp_mapping.Ledger}: probes
+    ({!try_add}, {!try_absorb} and the upgrade variants) are answered
+    from incrementally maintained per-group loads and pair flows in
+    O(degree of the probed operator), not by recomputing the group
+    demand from scratch.  Pair flows (constraint (5)) are only checked
+    where the mutation changes them; unchanged pairs stay feasible by
+    construction, so the decisions are the same as checking every
+    group. *)
 
 type t
 
@@ -17,6 +25,10 @@ val create : Insp_tree.App.t -> Insp_platform.Platform.t -> t
 
 val app : t -> Insp_tree.App.t
 val platform : t -> Insp_platform.Platform.t
+
+val ledger : t -> Insp_mapping.Ledger.t
+(** The backing ledger (group ids = ledger processor ids).  Exposed for
+    diagnostics and consistency tests; mutate through the builder. *)
 
 val group_ids : t -> group_id list
 (** Live groups, in acquisition order. *)

@@ -10,10 +10,12 @@ let normalize_proc p =
   let operators = List.sort_uniq compare p.operators in
   if List.length operators <> List.length p.operators then
     invalid_arg "Alloc.make: duplicate operator on one processor";
-  let downloads = List.sort compare p.downloads in
-  let object_types = List.map fst downloads in
-  if List.length (List.sort_uniq compare object_types) <> List.length downloads
-  then invalid_arg "Alloc.make: duplicate object type in a download plan";
+  (* Exact duplicate (object, server) entries are collapsed: they would
+     double-count the same stream.  Two entries for the same object from
+     different servers are kept — the checker flags them as
+     [Duplicate_download] so the NIC double-count is visible instead of
+     silently rejected here. *)
+  let downloads = List.sort_uniq compare p.downloads in
   { p with operators; downloads }
 
 let make procs =

@@ -5,16 +5,19 @@ type proc = {
   config : Insp_platform.Catalog.config;  (** purchased configuration *)
   operators : int list;  (** a-bar(u): operators mapped here, sorted *)
   downloads : (int * int) list;
-      (** DL(u): (object type, server) pairs, sorted by object type; one
-          entry per object type the processor downloads *)
+      (** DL(u): (object type, server) pairs, sorted; normally one entry
+          per object type.  Exact duplicate pairs are collapsed on
+          construction; the same object type from two different servers
+          is representable but flagged by the checker
+          ([Check.Duplicate_download]). *)
 }
 
 type t
 
 val make : proc array -> t
 (** Builds an allocation from processor descriptions.  Raises
-    [Invalid_argument] when an operator appears on two processors or a
-    processor lists the same object type twice. *)
+    [Invalid_argument] when an operator appears on two processors.
+    Exact duplicate download entries are deduplicated. *)
 
 val of_groups :
   configs:Insp_platform.Catalog.config array ->

@@ -7,6 +7,7 @@ type violation =
   | Unassigned_operator of int
   | Missing_download of { proc : int; object_type : int }
   | Extraneous_download of { proc : int; object_type : int }
+  | Duplicate_download of { proc : int; object_type : int }
   | Not_held of { proc : int; object_type : int; server : int }
   | Compute_overload of { proc : int; load : float; capacity : float }
   | Nic_overload of { proc : int; load : float; capacity : float }
@@ -79,7 +80,14 @@ let structural_violations app platform alloc =
           || l >= Servers.n_servers servers
           || not (Servers.holds servers l k)
         then add (Not_held { proc = u; object_type = k; server = l }))
-      planned
+      planned;
+    (* The same object type downloaded from several servers doubles its
+       NIC load; the plan is malformed even when each entry is valid. *)
+    List.iter
+      (fun k ->
+        if List.length (List.filter (fun k' -> k' = k) planned_types) > 1
+        then add (Duplicate_download { proc = u; object_type = k }))
+      (List.sort_uniq compare planned_types)
   done;
   List.rev !acc
 
@@ -165,6 +173,10 @@ let pp_violation ppf = function
   | Extraneous_download { proc; object_type } ->
     Format.fprintf ppf "P%d downloads o%d which no hosted operator needs" proc
       object_type
+  | Duplicate_download { proc; object_type } ->
+    Format.fprintf ppf
+      "P%d downloads o%d from more than one server (NIC load double-counted)"
+      proc object_type
   | Not_held { proc; object_type; server } ->
     Format.fprintf ppf "P%d downloads o%d from S%d which does not hold it" proc
       object_type server

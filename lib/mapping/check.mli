@@ -14,6 +14,10 @@ type violation =
           its objects *)
   | Extraneous_download of { proc : int; object_type : int }
       (** a download of an object no hosted operator needs *)
+  | Duplicate_download of { proc : int; object_type : int }
+      (** the same object type appears more than once in a processor's
+          download plan (different servers), double-counting its NIC
+          load *)
   | Not_held of { proc : int; object_type : int; server : int }
       (** download points at a server that does not carry the object *)
   | Compute_overload of { proc : int; load : float; capacity : float }

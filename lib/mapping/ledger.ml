@@ -1,0 +1,690 @@
+module App = Insp_tree.App
+module Optree = Insp_tree.Optree
+module Catalog = Insp_platform.Catalog
+module Platform = Insp_platform.Platform
+module Servers = Insp_platform.Servers
+
+type proc_id = int
+
+(* Directional flow over one processor pair.  [out_w] sums rho*delta of
+   tree edges whose child lives on the owning processor and whose parent
+   lives on the neighbour; [in_w] is the opposite direction.  [edges]
+   counts contributing tree edges so the entry can be dropped exactly
+   when it empties (killing float drift). *)
+type flow = { mutable out_w : float; mutable in_w : float; mutable edges : int }
+
+type link = { mutable l_load : float; mutable l_entries : int }
+
+type pinfo = {
+  mutable config : Catalog.config;
+  mutable members : int list;  (* sorted *)
+  mutable compute : float;
+  mutable comm_in : float;
+  mutable comm_out : float;
+  needs : (int, int) Hashtbl.t;  (* object type -> #hosted operators needing it *)
+  mutable need_rate : float;  (* download rate of the distinct needed objects *)
+  dls : (int, int list) Hashtbl.t;  (* object type -> sorted distinct servers *)
+  mutable dl_rate : float;  (* total planned download rate (MB/s) *)
+  mutable dl_entries : int;
+  flows : (proc_id, flow) Hashtbl.t;
+}
+
+type t = {
+  app : App.t;
+  platform : Platform.t;
+  procs : (proc_id, pinfo) Hashtbl.t;
+  assign : proc_id option array;
+  mutable next_id : int;
+  card_load : float array;  (* per-server aggregate download load *)
+  card_entries : int array;
+  links : (int * proc_id, link) Hashtbl.t;  (* (server, proc) link load *)
+}
+
+type probe = { demand : Demand.t; pair_flows : (proc_id * float) list }
+
+let create app platform =
+  let n_servers = Servers.n_servers platform.Platform.servers in
+  {
+    app;
+    platform;
+    procs = Hashtbl.create 32;
+    assign = Array.make (App.n_operators app) None;
+    next_id = 0;
+    card_load = Array.make n_servers 0.0;
+    card_entries = Array.make n_servers 0;
+    links = Hashtbl.create 64;
+  }
+
+let proc t u =
+  match Hashtbl.find_opt t.procs u with
+  | Some p -> p
+  | None -> invalid_arg "Ledger: dead processor id"
+
+let n_procs t = Hashtbl.length t.procs
+
+let proc_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.procs [] |> List.sort compare
+
+let mem_proc t u = Hashtbl.mem t.procs u
+let config t u = (proc t u).config
+let set_config t u cfg = (proc t u).config <- cfg
+let operators_of t u = (proc t u).members
+let assignment t i = t.assign.(i)
+let downloads_list p =
+  Hashtbl.fold (fun k ls acc -> List.map (fun l -> (k, l)) ls @ acc) p.dls []
+  |> List.sort compare
+
+let downloads_of t u = downloads_list (proc t u)
+
+let add_proc t cfg =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.procs id
+    {
+      config = cfg;
+      members = [];
+      compute = 0.0;
+      comm_in = 0.0;
+      comm_out = 0.0;
+      needs = Hashtbl.create 8;
+      need_rate = 0.0;
+      dls = Hashtbl.create 8;
+      dl_rate = 0.0;
+      dl_entries = 0;
+      flows = Hashtbl.create 8;
+    };
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Sorted member-list helpers                                          *)
+
+let rec insert_sorted i = function
+  | [] -> [ i ]
+  | x :: rest when x < i -> x :: insert_sorted i rest
+  | l -> i :: l
+
+let uniq_leaves tree i = List.sort_uniq compare (Optree.leaves tree i)
+
+(* ------------------------------------------------------------------ *)
+(* Pair-flow bookkeeping                                               *)
+
+let flow_entry p v =
+  match Hashtbl.find_opt p.flows v with
+  | Some f -> f
+  | None ->
+    let f = { out_w = 0.0; in_w = 0.0; edges = 0 } in
+    Hashtbl.replace p.flows v f;
+    f
+
+(* Record one tree edge whose child lives on [child_proc] and whose
+   parent lives on [parent_proc], carrying [w] MB/s. *)
+let add_edge_flow t ~child_proc ~parent_proc w =
+  let pc = proc t child_proc and pp = proc t parent_proc in
+  let fc = flow_entry pc parent_proc and fp = flow_entry pp child_proc in
+  fc.out_w <- fc.out_w +. w;
+  fc.edges <- fc.edges + 1;
+  fp.in_w <- fp.in_w +. w;
+  fp.edges <- fp.edges + 1
+
+let remove_edge_flow t ~child_proc ~parent_proc w =
+  let pc = proc t child_proc and pp = proc t parent_proc in
+  let fc = flow_entry pc parent_proc and fp = flow_entry pp child_proc in
+  fc.out_w <- fc.out_w -. w;
+  fc.edges <- fc.edges - 1;
+  fp.in_w <- fp.in_w -. w;
+  fp.edges <- fp.edges - 1;
+  if fc.edges <= 0 then Hashtbl.remove pc.flows parent_proc;
+  if fp.edges <= 0 then Hashtbl.remove pp.flows child_proc
+
+let pair_flow t u v =
+  match Hashtbl.find_opt (proc t u).flows v with
+  | Some f -> f.out_w +. f.in_w
+  | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Operator placement deltas                                           *)
+
+let add_operator t u i =
+  if t.assign.(i) <> None then
+    invalid_arg "Ledger.add_operator: operator already assigned";
+  let p = proc t u in
+  let app = t.app in
+  let tree = App.tree app in
+  let rho = App.rho app in
+  p.compute <- p.compute +. (rho *. App.work app i);
+  List.iter
+    (fun c ->
+      let w = rho *. App.output_size app c in
+      match t.assign.(c) with
+      | Some v when v = u ->
+        (* edge (c -> i) becomes internal: c no longer sends out *)
+        p.comm_out <- p.comm_out -. w
+      | other -> (
+        p.comm_in <- p.comm_in +. w;
+        match other with
+        | Some v -> add_edge_flow t ~child_proc:v ~parent_proc:u w
+        | None -> ()))
+    (Optree.children tree i);
+  (match Optree.parent tree i with
+  | None -> ()
+  | Some pr -> (
+    let w = rho *. App.output_size app i in
+    match t.assign.(pr) with
+    | Some v when v = u -> p.comm_in <- p.comm_in -. w
+    | other -> (
+      p.comm_out <- p.comm_out +. w;
+      match other with
+      | Some v -> add_edge_flow t ~child_proc:u ~parent_proc:v w
+      | None -> ())));
+  List.iter
+    (fun k ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt p.needs k) in
+      if c = 0 then p.need_rate <- p.need_rate +. App.download_rate app k;
+      Hashtbl.replace p.needs k (c + 1))
+    (uniq_leaves tree i);
+  p.members <- insert_sorted i p.members;
+  t.assign.(i) <- Some u
+
+let remove_operator t i =
+  match t.assign.(i) with
+  | None -> invalid_arg "Ledger.remove_operator: operator not assigned"
+  | Some u ->
+    let p = proc t u in
+    let app = t.app in
+    let tree = App.tree app in
+    let rho = App.rho app in
+    p.compute <- p.compute -. (rho *. App.work app i);
+    List.iter
+      (fun c ->
+        let w = rho *. App.output_size app c in
+        match t.assign.(c) with
+        | Some v when v = u ->
+          (* edge (c -> i) becomes crossing again: c sends out *)
+          p.comm_out <- p.comm_out +. w
+        | other -> (
+          p.comm_in <- p.comm_in -. w;
+          match other with
+          | Some v -> remove_edge_flow t ~child_proc:v ~parent_proc:u w
+          | None -> ()))
+      (Optree.children tree i);
+    (match Optree.parent tree i with
+    | None -> ()
+    | Some pr -> (
+      let w = rho *. App.output_size app i in
+      match t.assign.(pr) with
+      | Some v when v = u -> p.comm_in <- p.comm_in +. w
+      | other -> (
+        p.comm_out <- p.comm_out -. w;
+        match other with
+        | Some v -> remove_edge_flow t ~child_proc:u ~parent_proc:v w
+        | None -> ())));
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt p.needs k with
+        | Some 1 ->
+          Hashtbl.remove p.needs k;
+          p.need_rate <-
+            (if Hashtbl.length p.needs = 0 then 0.0
+             else p.need_rate -. App.download_rate app k)
+        | Some c -> Hashtbl.replace p.needs k (c - 1)
+        | None -> assert false)
+      (uniq_leaves tree i);
+    p.members <- List.filter (fun x -> x <> i) p.members;
+    t.assign.(i) <- None;
+    if p.members = [] then begin
+      (* Exact reset: an empty group carries exactly zero load, so any
+         accumulated float drift dies here. *)
+      p.compute <- 0.0;
+      p.comm_in <- 0.0;
+      p.comm_out <- 0.0
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Download-plan deltas                                                *)
+
+let valid_server t l =
+  l >= 0 && l < Servers.n_servers t.platform.Platform.servers
+
+let add_download t u ~obj:k ~server:l =
+  let p = proc t u in
+  let servers = Option.value ~default:[] (Hashtbl.find_opt p.dls k) in
+  if not (List.mem l servers) then begin
+    (* exact duplicate (k, l) entries are collapsed, mirroring Alloc *)
+    Hashtbl.replace p.dls k (List.sort compare (l :: servers));
+    let rate = App.download_rate t.app k in
+    p.dl_rate <- p.dl_rate +. rate;
+    p.dl_entries <- p.dl_entries + 1;
+    if valid_server t l then begin
+      t.card_load.(l) <- t.card_load.(l) +. rate;
+      t.card_entries.(l) <- t.card_entries.(l) + 1;
+      match Hashtbl.find_opt t.links (l, u) with
+      | Some lk ->
+        lk.l_load <- lk.l_load +. rate;
+        lk.l_entries <- lk.l_entries + 1
+      | None -> Hashtbl.replace t.links (l, u) { l_load = rate; l_entries = 1 }
+    end
+  end
+
+let remove_download t u ~obj:k ~server:l =
+  let p = proc t u in
+  match Hashtbl.find_opt p.dls k with
+  | Some servers when List.mem l servers ->
+    let servers' = List.filter (fun x -> x <> l) servers in
+    if servers' = [] then Hashtbl.remove p.dls k
+    else Hashtbl.replace p.dls k servers';
+    let rate = App.download_rate t.app k in
+    p.dl_entries <- p.dl_entries - 1;
+    p.dl_rate <- (if p.dl_entries = 0 then 0.0 else p.dl_rate -. rate);
+    if valid_server t l then begin
+      t.card_entries.(l) <- t.card_entries.(l) - 1;
+      t.card_load.(l) <-
+        (if t.card_entries.(l) = 0 then 0.0 else t.card_load.(l) -. rate);
+      match Hashtbl.find_opt t.links (l, u) with
+      | Some lk ->
+        lk.l_entries <- lk.l_entries - 1;
+        if lk.l_entries <= 0 then Hashtbl.remove t.links (l, u)
+        else lk.l_load <- lk.l_load -. rate
+      | None -> assert false
+    end
+  | Some _ | None -> ()
+
+let remove_proc t u =
+  let p = proc t u in
+  List.iter (fun i -> remove_operator t i) p.members;
+  List.iter (fun (k, l) -> remove_download t u ~obj:k ~server:l)
+    (downloads_list p);
+  Hashtbl.remove t.procs u
+
+(* ------------------------------------------------------------------ *)
+(* Demand queries and probes                                           *)
+
+let needed_objects p =
+  Hashtbl.fold (fun k _ acc -> k :: acc) p.needs [] |> List.sort compare
+
+let demand t u =
+  let p = proc t u in
+  {
+    Demand.compute = p.compute;
+    download = p.need_rate;
+    comm_in = p.comm_in;
+    comm_out = p.comm_out;
+  }
+
+let nic_load t u =
+  let p = proc t u in
+  p.dl_rate +. p.comm_in +. p.comm_out
+
+let compute_load t u = (proc t u).compute
+
+(* Accumulate [w] against key [v] in a tiny assoc list. *)
+let acc_flow acc v w =
+  let prev = Option.value ~default:0.0 (List.assoc_opt v acc) in
+  (v, prev +. w) :: List.remove_assoc v acc
+
+let probe_add t u i =
+  if t.assign.(i) <> None then
+    invalid_arg "Ledger.probe_add: operator already assigned";
+  let p = proc t u in
+  let app = t.app in
+  let tree = App.tree app in
+  let rho = App.rho app in
+  let compute = p.compute +. (rho *. App.work app i) in
+  let comm_in = ref p.comm_in and comm_out = ref p.comm_out in
+  let deltas = ref [] in
+  List.iter
+    (fun c ->
+      let w = rho *. App.output_size app c in
+      match t.assign.(c) with
+      | Some v when v = u -> comm_out := !comm_out -. w
+      | other -> (
+        comm_in := !comm_in +. w;
+        match other with
+        | Some v -> deltas := acc_flow !deltas v w
+        | None -> ()))
+    (Optree.children tree i);
+  (match Optree.parent tree i with
+  | None -> ()
+  | Some pr -> (
+    let w = rho *. App.output_size app i in
+    match t.assign.(pr) with
+    | Some v when v = u -> comm_in := !comm_in -. w
+    | other -> (
+      comm_out := !comm_out +. w;
+      match other with
+      | Some v -> deltas := acc_flow !deltas v w
+      | None -> ())));
+  let download =
+    List.fold_left
+      (fun acc k ->
+        if Hashtbl.mem p.needs k then acc
+        else acc +. App.download_rate app k)
+      p.need_rate (uniq_leaves tree i)
+  in
+  {
+    demand = { Demand.compute; download; comm_in = !comm_in; comm_out = !comm_out };
+    pair_flows =
+      List.map (fun (v, dw) -> (v, pair_flow t u v +. dw)) !deltas;
+  }
+
+let probe_merge t ~winner ~loser =
+  if winner = loser then invalid_arg "Ledger.probe_merge: same processor";
+  let pw = proc t winner and pl = proc t loser in
+  let out_wl, in_wl =
+    match Hashtbl.find_opt pw.flows loser with
+    | Some f -> (f.out_w, f.in_w)
+    | None -> (0.0, 0.0)
+  in
+  let compute = pw.compute +. pl.compute in
+  (* Edges between winner and loser become internal: subtract each
+     direction from the side that counted it. *)
+  let comm_in = pw.comm_in -. in_wl +. (pl.comm_in -. out_wl) in
+  let comm_out = pw.comm_out -. out_wl +. (pl.comm_out -. in_wl) in
+  let download =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if Hashtbl.mem pw.needs k then acc else acc +. App.download_rate t.app k)
+      pl.needs pw.need_rate
+  in
+  let third_party =
+    let acc = ref [] in
+    let collect tbl =
+      Hashtbl.iter
+        (fun v f ->
+          if v <> winner && v <> loser then
+            acc := acc_flow !acc v (f.out_w +. f.in_w))
+        tbl
+    in
+    collect pw.flows;
+    collect pl.flows;
+    !acc
+  in
+  {
+    demand = { Demand.compute; download; comm_in; comm_out };
+    pair_flows = third_party;
+  }
+
+let merge t ~winner ~loser =
+  if winner = loser then invalid_arg "Ledger.merge: same processor";
+  let moved = (proc t loser).members in
+  List.iter (fun i -> remove_operator t i) moved;
+  remove_proc t loser;
+  List.iter (fun i -> add_operator t winner i) moved
+
+(* ------------------------------------------------------------------ *)
+(* Violations                                                          *)
+
+let tolerance = 1e-9
+let exceeds load capacity = load > (capacity *. (1.0 +. tolerance)) +. tolerance
+
+(* Violations anchored at one processor: structural download checks plus
+   constraints (1), (2) and (4) for its own links.  O(degree of the
+   processor's state). *)
+let proc_violations t u acc =
+  let servers = t.platform.Platform.servers in
+  let p = proc t u in
+  let add v = acc := v :: !acc in
+  let needed = needed_objects p in
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem p.dls k) then
+        add (Check.Missing_download { proc = u; object_type = k }))
+    needed;
+  List.iter
+    (fun (k, l) ->
+      if not (Hashtbl.mem p.needs k) then
+        add (Check.Extraneous_download { proc = u; object_type = k });
+      if not (valid_server t l) || not (Servers.holds servers l k) then
+        add (Check.Not_held { proc = u; object_type = k; server = l }))
+    (downloads_list p);
+  Hashtbl.iter
+    (fun k ls ->
+      if List.length ls > 1 then
+        add (Check.Duplicate_download { proc = u; object_type = k }))
+    p.dls;
+  let config = p.config in
+  if exceeds p.compute config.Catalog.cpu.Catalog.speed then
+    add
+      (Check.Compute_overload
+         { proc = u; load = p.compute; capacity = config.Catalog.cpu.Catalog.speed });
+  let nic = p.dl_rate +. p.comm_in +. p.comm_out in
+  if exceeds nic config.Catalog.nic.Catalog.bandwidth then
+    add
+      (Check.Nic_overload
+         { proc = u; load = nic; capacity = config.Catalog.nic.Catalog.bandwidth });
+  Hashtbl.iter
+    (fun k ls ->
+      List.iter
+        (fun l ->
+          if valid_server t l then
+            match Hashtbl.find_opt t.links (l, u) with
+            | Some lk when exceeds lk.l_load t.platform.Platform.server_link ->
+              add
+                (Check.Server_link_overload
+                   {
+                     server = l;
+                     proc = u;
+                     load = lk.l_load;
+                     capacity = t.platform.Platform.server_link;
+                   })
+            | Some _ | None -> ())
+        ls;
+      ignore k)
+    p.dls
+
+let server_card_violations t servers_touched acc =
+  let add v = acc := v :: !acc in
+  List.iter
+    (fun l ->
+      if exceeds t.card_load.(l) (Servers.card t.platform.Platform.servers l)
+      then
+        add
+          (Check.Server_card_overload
+             {
+               server = l;
+               load = t.card_load.(l);
+               capacity = Servers.card t.platform.Platform.servers l;
+             }))
+    servers_touched
+
+let pair_violations t us acc =
+  let add v = acc := v :: !acc in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      if mem_proc t u then
+        Hashtbl.iter
+          (fun v f ->
+            let a = min u v and b = max u v in
+            if not (Hashtbl.mem seen (a, b)) then begin
+              Hashtbl.replace seen (a, b) ();
+              let total = f.out_w +. f.in_w in
+              if exceeds total t.platform.Platform.proc_link then
+                add
+                  (Check.Proc_link_overload
+                     {
+                       proc_a = a;
+                       proc_b = b;
+                       load = total;
+                       capacity = t.platform.Platform.proc_link;
+                     })
+            end)
+          (proc t u).flows)
+    us
+
+(* Duplicate-entry-free: Server_link_overload for (l, u) is only emitted
+   once per pair because the dls table maps each object type once. *)
+let dedup_link_overloads vs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (function
+      | Check.Server_link_overload { server; proc; _ } ->
+        if Hashtbl.mem seen (server, proc) then false
+        else begin
+          Hashtbl.replace seen (server, proc) ();
+          true
+        end
+      | _ -> true)
+    vs
+
+let violations_touching t us =
+  let us = List.sort_uniq compare us in
+  let acc = ref [] in
+  List.iter (fun u -> if mem_proc t u then proc_violations t u acc) us;
+  let servers_touched =
+    List.concat_map
+      (fun u ->
+        if mem_proc t u then
+          Hashtbl.fold
+            (fun k ls ks ->
+              ignore k;
+              List.filter (valid_server t) ls @ ks)
+            (proc t u).dls []
+        else [])
+      us
+    |> List.sort_uniq compare
+  in
+  server_card_violations t servers_touched acc;
+  pair_violations t us acc;
+  dedup_link_overloads (List.rev !acc)
+
+let violations t =
+  let acc = ref [] in
+  for i = 0 to App.n_operators t.app - 1 do
+    if t.assign.(i) = None then acc := Check.Unassigned_operator i :: !acc
+  done;
+  let ids = proc_ids t in
+  List.iter (fun u -> proc_violations t u acc) ids;
+  let all_servers =
+    List.init (Servers.n_servers t.platform.Platform.servers) Fun.id
+  in
+  server_card_violations t all_servers acc;
+  pair_violations t ids acc;
+  dedup_link_overloads (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions and the oracle cross-check                              *)
+
+let of_alloc app platform alloc =
+  let t = create app platform in
+  for u = 0 to Alloc.n_procs alloc - 1 do
+    let id = add_proc t (Alloc.proc alloc u).Alloc.config in
+    assert (id = u)
+  done;
+  for u = 0 to Alloc.n_procs alloc - 1 do
+    List.iter (fun i -> add_operator t u i) (Alloc.operators_of alloc u)
+  done;
+  for u = 0 to Alloc.n_procs alloc - 1 do
+    List.iter
+      (fun (k, l) -> add_download t u ~obj:k ~server:l)
+      (Alloc.downloads_of alloc u)
+  done;
+  t
+
+let to_alloc t =
+  let ids = proc_ids t in
+  Alloc.make
+    (Array.of_list
+       (List.map
+          (fun u ->
+            let p = proc t u in
+            {
+              Alloc.config = p.config;
+              operators = p.members;
+              downloads = downloads_list p;
+            })
+          ids))
+
+(* Multiset comparison of violation lists: identical constructors and
+   integer sites; float loads equal within a relative tolerance (the
+   incremental sums may differ from the oracle's in the last bits). *)
+let rank = function
+  | Check.Unassigned_operator _ -> 0
+  | Check.Missing_download _ -> 1
+  | Check.Extraneous_download _ -> 2
+  | Check.Duplicate_download _ -> 3
+  | Check.Not_held _ -> 4
+  | Check.Compute_overload _ -> 5
+  | Check.Nic_overload _ -> 6
+  | Check.Server_card_overload _ -> 7
+  | Check.Server_link_overload _ -> 8
+  | Check.Proc_link_overload _ -> 9
+
+let site = function
+  | Check.Unassigned_operator i -> (i, 0, 0)
+  | Check.Missing_download { proc; object_type } -> (proc, object_type, 0)
+  | Check.Extraneous_download { proc; object_type } -> (proc, object_type, 0)
+  | Check.Duplicate_download { proc; object_type } -> (proc, object_type, 0)
+  | Check.Not_held { proc; object_type; server } -> (proc, object_type, server)
+  | Check.Compute_overload { proc; _ } -> (proc, 0, 0)
+  | Check.Nic_overload { proc; _ } -> (proc, 0, 0)
+  | Check.Server_card_overload { server; _ } -> (server, 0, 0)
+  | Check.Server_link_overload { server; proc; _ } -> (server, proc, 0)
+  | Check.Proc_link_overload { proc_a; proc_b; _ } -> (proc_a, proc_b, 0)
+
+let loads = function
+  | Check.Compute_overload { load; capacity; _ }
+  | Check.Nic_overload { load; capacity; _ }
+  | Check.Server_card_overload { load; capacity; _ }
+  | Check.Server_link_overload { load; capacity; _ }
+  | Check.Proc_link_overload { load; capacity; _ } -> Some (load, capacity)
+  | _ -> None
+
+let float_close a b =
+  Float.abs (a -. b)
+  <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let same_violation a b =
+  rank a = rank b
+  && site a = site b
+  &&
+  match (loads a, loads b) with
+  | Some (la, ca), Some (lb, cb) -> float_close la lb && float_close ca cb
+  | None, None -> true
+  | _ -> false
+
+let sort_violations vs =
+  List.sort (fun a b -> compare (rank a, site a) (rank b, site b)) vs
+
+let equal_violations va vb =
+  List.length va = List.length vb
+  && List.for_all2 same_violation (sort_violations va) (sort_violations vb)
+
+let assert_consistent t =
+  let alloc = to_alloc t in
+  let oracle = Check.check t.app t.platform alloc in
+  (* Translate ledger processor ids to the dense indices [to_alloc]
+     assigned them. *)
+  let ids = proc_ids t in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun idx id -> Hashtbl.replace index id idx) ids;
+  let tr u = match Hashtbl.find_opt index u with Some i -> i | None -> u in
+  let translate = function
+    | Check.Missing_download { proc; object_type } ->
+      Check.Missing_download { proc = tr proc; object_type }
+    | Check.Extraneous_download { proc; object_type } ->
+      Check.Extraneous_download { proc = tr proc; object_type }
+    | Check.Duplicate_download { proc; object_type } ->
+      Check.Duplicate_download { proc = tr proc; object_type }
+    | Check.Not_held { proc; object_type; server } ->
+      Check.Not_held { proc = tr proc; object_type; server }
+    | Check.Compute_overload r ->
+      Check.Compute_overload { r with proc = tr r.proc }
+    | Check.Nic_overload r -> Check.Nic_overload { r with proc = tr r.proc }
+    | Check.Server_link_overload r ->
+      Check.Server_link_overload { r with proc = tr r.proc }
+    | Check.Proc_link_overload r ->
+      let a = tr r.proc_a and b = tr r.proc_b in
+      Check.Proc_link_overload
+        { r with proc_a = min a b; proc_b = max a b }
+    | (Check.Unassigned_operator _ | Check.Server_card_overload _) as v -> v
+  in
+  let mine = List.map translate (violations t) in
+  if not (equal_violations mine oracle) then
+    failwith
+      (Printf.sprintf
+         "Ledger.assert_consistent: divergence from Check.check\n\
+          ledger (%d):\n%s\noracle (%d):\n%s"
+         (List.length mine)
+         (Check.explain (sort_violations mine))
+         (List.length oracle)
+         (Check.explain (sort_violations oracle)))

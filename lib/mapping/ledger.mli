@@ -1,0 +1,118 @@
+(** Incremental demand/feasibility ledger.
+
+    Maintains, as mutable state, every quantity the from-scratch checker
+    {!Check.check} derives from an allocation: per-processor compute,
+    communication and download loads, per-server card and link loads,
+    and per-processor-pair flows.  Mutations ({!add_operator},
+    {!remove_operator}, {!add_download}, …) cost O(degree) — the number
+    of tree edges and object leaves touching the edited operator — where
+    the from-scratch path recomputes O(|group|²) sums per probe.
+
+    {!Check.check} remains the oracle: {!assert_consistent} materialises
+    the ledger as an {!Alloc.t}, runs the oracle, and fails loudly if
+    the two violation sets diverge (float loads compared within 1e-6
+    relative tolerance — incremental sums may differ from the oracle's
+    in the last bits).  Aggregates are reset to exact zero whenever
+    their contributing-entry count drops to zero, so float drift cannot
+    accumulate across long edit sequences.
+
+    Processor ids are ledger-assigned and stable; they are *not*
+    compacted when processors are removed.  {!to_alloc} maps live
+    processors, in increasing id order, to dense [Alloc] indices. *)
+
+type t
+
+type proc_id = int
+
+(** Result of a hypothetical edit: the would-be demand of the probed
+    processor and the would-be *total* flow of every processor pair the
+    edit changes (only changed pairs are listed; unchanged pairs keep
+    their already-validated totals). *)
+type probe = { demand : Demand.t; pair_flows : (proc_id * float) list }
+
+val create : Insp_tree.App.t -> Insp_platform.Platform.t -> t
+
+val add_proc : t -> Insp_platform.Catalog.config -> proc_id
+val remove_proc : t -> proc_id -> unit
+(** Releases all hosted operators and download entries, then deletes the
+    processor. *)
+
+val n_procs : t -> int
+val proc_ids : t -> proc_id list
+(** Live processors, increasing id order. *)
+
+val mem_proc : t -> proc_id -> bool
+val config : t -> proc_id -> Insp_platform.Catalog.config
+val set_config : t -> proc_id -> Insp_platform.Catalog.config -> unit
+val operators_of : t -> proc_id -> int list
+(** Sorted. *)
+
+val downloads_of : t -> proc_id -> (int * int) list
+(** Sorted (object type, server) pairs; one entry per distinct pair. *)
+
+val assignment : t -> int -> proc_id option
+
+val add_operator : t -> proc_id -> int -> unit
+(** O(degree).  Raises [Invalid_argument] if already assigned. *)
+
+val remove_operator : t -> int -> unit
+(** O(degree).  Raises [Invalid_argument] if not assigned. *)
+
+val add_download : t -> proc_id -> obj:int -> server:int -> unit
+(** O(1) amortised.  Exact duplicate (obj, server) entries are collapsed
+    (mirroring {!Alloc.make}); the same object from a second server is
+    recorded and will surface as [Check.Duplicate_download].  Servers
+    outside the platform range are recorded too (they surface as
+    [Check.Not_held] and still load the processor's NIC, like the
+    oracle). *)
+
+val remove_download : t -> proc_id -> obj:int -> server:int -> unit
+(** No-op when the entry is absent. *)
+
+val merge : t -> winner:proc_id -> loser:proc_id -> unit
+(** Moves every operator of [loser] onto [winner] and deletes [loser].
+    O(sum of moved operators' degrees). *)
+
+val demand : t -> proc_id -> Demand.t
+(** Current demand of the processor's operator group (download term =
+    distinct needed objects, like {!Demand.of_group}). *)
+
+val compute_load : t -> proc_id -> float
+val nic_load : t -> proc_id -> float
+(** Checker semantics: planned download rate (which may double-count
+    duplicated object types) + comm in + comm out. *)
+
+val pair_flow : t -> proc_id -> proc_id -> float
+
+val probe_add : t -> proc_id -> int -> probe
+(** Would-be state after assigning one unassigned operator.  O(degree);
+    does not mutate. *)
+
+val probe_merge : t -> winner:proc_id -> loser:proc_id -> probe
+(** Would-be state of [winner] after absorbing [loser].  [pair_flows]
+    lists the merged totals towards every third-party neighbour.
+    O(neighbour count); does not mutate. *)
+
+val violations : t -> Check.violation list
+(** Complete violation list, equivalent to running {!Check.check} on
+    {!to_alloc} (processor indices are ledger ids).  O(live state), not
+    O(procs²). *)
+
+val violations_touching : t -> proc_id list -> Check.violation list
+(** Violations anchored at the given processors: their structural
+    download problems, constraints (1)/(2)/(4), the card constraint (3)
+    of every server they download from, and constraint (5) for every
+    pair they participate in.  Does not scan for unassigned operators.
+    O(size of the touched state). *)
+
+val of_alloc : Insp_tree.App.t -> Insp_platform.Platform.t -> Alloc.t -> t
+(** Replays an allocation; processor ids coincide with [Alloc] indices. *)
+
+val to_alloc : t -> Alloc.t
+(** Live processors in increasing id order. *)
+
+val assert_consistent : t -> unit
+(** Cross-validates against the {!Check.check} oracle on {!to_alloc};
+    raises [Failure] with both violation lists rendered on divergence.
+    Intended for tests and debugging — it runs the full from-scratch
+    check. *)

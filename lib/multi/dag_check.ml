@@ -143,7 +143,12 @@ let check dag platform alloc =
           add (Check.Extraneous_download { proc = u; object_type = k });
         if l < 0 || l >= Servers.n_servers servers || not (Servers.holds servers l k)
         then add (Check.Not_held { proc = u; object_type = k; server = l }))
-      planned
+      planned;
+    List.iter
+      (fun k ->
+        if List.length (List.filter (fun k' -> k' = k) planned_types) > 1
+        then add (Check.Duplicate_download { proc = u; object_type = k }))
+      (List.sort_uniq compare planned_types)
   done;
   (* (1) and (2) *)
   for u = 0 to n_procs - 1 do

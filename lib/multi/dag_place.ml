@@ -53,37 +53,65 @@ let demand_fits st config members =
   && leq (Dag_check.nic d) config.Catalog.nic.Catalog.bandwidth
 
 (* Flow between two member sets: one stream per (producer, consuming
-   set) at the fastest consuming rate. *)
+   set) at the fastest consuming rate.  Membership is answered through a
+   marker array instead of [List.mem] per consumer. *)
 let flow_between dag g h =
-  let one_way src dst =
+  let in_h = Array.make (Dag.n_nodes dag) false in
+  List.iter (fun i -> in_h.(i) <- true) h;
+  let in_g = Array.make (Dag.n_nodes dag) false in
+  List.iter (fun i -> in_g.(i) <- true) g;
+  let one_way src in_dst =
     List.fold_left
       (fun acc j ->
-        let consumers_in_dst =
-          List.filter (fun c -> List.mem c dst) (Dag.consumers dag j)
+        let rate =
+          List.fold_left
+            (fun m c ->
+              if in_dst.(c) then Float.max m (Dag.node dag c).Dag.rate else m)
+            0.0 (Dag.consumers dag j)
         in
-        match consumers_in_dst with
-        | [] -> acc
-        | cs ->
-          let rate =
-            List.fold_left
-              (fun m c -> Float.max m (Dag.node dag c).Dag.rate)
-              0.0 cs
-          in
-          acc +. ((Dag.node dag j).Dag.output *. rate))
+        acc +. ((Dag.node dag j).Dag.output *. rate))
       0.0 src
   in
-  one_way g h +. one_way h g
+  one_way g in_h +. one_way h in_g
+
+(* Groups reachable from [members] through one stream edge, read off the
+   assignment array.  Only these can carry flow towards [members], so
+   constraint (5) is checked against them alone — the previous
+   implementation recomputed the flow towards every live group per
+   probe.  (DAG flow semantics — one stream per producer at the fastest
+   consuming rate — make exact incremental pair-flow maintenance à la
+   [Insp_mapping.Ledger] impractical; restricting the recomputation to
+   adjacent groups gives the same decisions, since non-adjacent groups
+   carry zero flow.) *)
+let adjacent_groups st ~members ~ignore_groups =
+  let marked = Array.make (Dag.n_nodes st.dag) false in
+  List.iter (fun i -> marked.(i) <- true) members;
+  let adj = ref [] in
+  let note i =
+    if not marked.(i) then
+      match st.assign.(i) with
+      | Some gid when (not (List.mem gid ignore_groups))
+                      && not (List.mem gid !adj) ->
+        adj := gid :: !adj
+      | Some _ | None -> ()
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (function Dag.Node j -> note j | Dag.Object _ -> ())
+        (Dag.inputs st.dag m);
+      List.iter note (Dag.consumers st.dag m))
+    members;
+  !adj
 
 let can_host st ~config ~members ?(ignore_groups = []) () =
   demand_fits st config members
-  && Hashtbl.fold
-       (fun gid g ok ->
-         ok
-         && (List.mem gid ignore_groups
-            || leq
-                 (flow_between st.dag members g.members)
-                 st.platform.Platform.proc_link))
-       st.groups true
+  && List.for_all
+       (fun gid ->
+         leq
+           (flow_between st.dag members (Hashtbl.find st.groups gid).members)
+           st.platform.Platform.proc_link)
+       (adjacent_groups st ~members ~ignore_groups)
 
 let acquire st ~config ~members =
   if can_host st ~config ~members () then begin

@@ -49,7 +49,13 @@ let compute ~caps ~membership =
           rates.(f) <- share;
           frozen.(f) <- true;
           incr n_frozen;
-          List.iter (fun c -> remaining.(c) <- remaining.(c) -. share) ms
+          (* Clamp at the constraint level: float rounding when a frozen
+             flow spans several near-saturated constraints can push
+             [remaining] slightly negative, which would later surface as
+             a negative best_share for an unrelated flow. *)
+          List.iter
+            (fun c -> remaining.(c) <- Float.max 0.0 (remaining.(c) -. share))
+            ms
         end)
       membership
   done;

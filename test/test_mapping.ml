@@ -68,18 +68,33 @@ let test_alloc_validation () =
              { Alloc.config = cfg (); operators = [ 0 ]; downloads = [] };
              { Alloc.config = cfg (); operators = [ 0 ]; downloads = [] };
            |]));
-  Alcotest.check_raises "duplicate download"
-    (Invalid_argument "Alloc.make: duplicate object type in a download plan")
-    (fun () ->
-      ignore
-        (Alloc.make
-           [|
-             {
-               Alloc.config = cfg ();
-               operators = [ 0 ];
-               downloads = [ (0, 0); (0, 1) ];
-             };
-           |]))
+  (* Exact duplicate (object, server) entries are collapsed... *)
+  let a =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0 ];
+          downloads = [ (0, 0); (0, 0) ];
+        };
+      |]
+  in
+  Alcotest.(check (list (pair int int))) "exact duplicates collapsed"
+    [ (0, 0) ] (Alloc.downloads_of a 0);
+  (* ... while the same object from two servers is representable (the
+     checker flags it as Duplicate_download). *)
+  let a =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0 ];
+          downloads = [ (0, 0); (0, 1) ];
+        };
+      |]
+  in
+  Alcotest.(check (list (pair int int))) "multi-server plan kept"
+    [ (0, 0); (0, 1) ] (Alloc.downloads_of a 0)
 
 let test_alloc_updates () =
   let a = tiny_alloc_two () in
@@ -345,6 +360,74 @@ let test_check_proc_link_overload () =
        (function Check.Proc_link_overload _ -> true | _ -> false)
        (Check.check app platform (tiny_alloc_two ())))
 
+let test_check_duplicate_download () =
+  let app, platform = tiny_env () in
+  (* o0 is held by both servers: downloading it twice used to pass the
+     structural check while double-counting 5 MB/s of NIC load. *)
+  let alloc =
+    Alloc.make
+      [|
+        {
+          Alloc.config = cfg ();
+          operators = [ 0; 1; 2; 3 ];
+          downloads = [ (0, 0); (0, 1); (1, 0); (2, 1) ];
+        };
+      |]
+  in
+  let violations = Check.check app platform alloc in
+  Alcotest.(check bool) "duplicate flagged" true
+    (has_violation
+       (function
+         | Check.Duplicate_download { proc = 0; object_type = 0 } -> true
+         | _ -> false)
+       violations);
+  Alcotest.(check int) "exactly one violation" 1 (List.length violations);
+  (* The NIC double-count is real: the plan rate exceeds the demand's
+     deduplicated download term by one extra o0 stream (5 MB/s). *)
+  let d = Demand.of_group app [ 0; 1; 2; 3 ] in
+  Helpers.alco_float "double-counted NIC" (d.Demand.download +. 5.0)
+    (Check.proc_download_rate app alloc 0)
+
+(* One golden string per violation constructor: the renderings are part
+   of the CLI/diagnostic surface. *)
+let test_pp_violation_golden () =
+  let golden =
+    [
+      (Check.Unassigned_operator 3, "operator n3 is unassigned");
+      ( Check.Missing_download { proc = 1; object_type = 2 },
+        "P1 misses a download source for o2" );
+      ( Check.Extraneous_download { proc = 0; object_type = 4 },
+        "P0 downloads o4 which no hosted operator needs" );
+      ( Check.Duplicate_download { proc = 2; object_type = 1 },
+        "P2 downloads o1 from more than one server (NIC load double-counted)"
+      );
+      ( Check.Not_held { proc = 0; object_type = 1; server = 5 },
+        "P0 downloads o1 from S5 which does not hold it" );
+      ( Check.Compute_overload { proc = 0; load = 120.5; capacity = 100.0 },
+        "P0 compute overload: 120.5 > 100.0 Mops/s" );
+      ( Check.Nic_overload { proc = 1; load = 130.0; capacity = 125.0 },
+        "P1 NIC overload: 130.0 > 125.0 MB/s" );
+      ( Check.Server_card_overload { server = 2; load = 20.5; capacity = 20.0 },
+        "S2 card overload: 20.5 > 20.0 MB/s" );
+      ( Check.Server_link_overload
+          { server = 0; proc = 3; load = 15.0; capacity = 12.0 },
+        "link S0->P3 overload: 15.0 > 12.0 MB/s" );
+      ( Check.Proc_link_overload
+          { proc_a = 0; proc_b = 1; load = 50.0; capacity = 40.0 },
+        "link P0<->P1 overload: 50.0 > 40.0 MB/s" );
+    ]
+  in
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check string) expected expected
+        (Format.asprintf "%a" Check.pp_violation v))
+    golden;
+  Alcotest.(check string) "explain feasible" "feasible" (Check.explain []);
+  Alcotest.(check string) "explain joins lines"
+    "operator n0 is unassigned\noperator n1 is unassigned"
+    (Check.explain
+       [ Check.Unassigned_operator 0; Check.Unassigned_operator 1 ])
+
 let test_pair_flow () =
   let app = Helpers.tiny_app () in
   let a = tiny_alloc_two () in
@@ -409,6 +492,10 @@ let () =
             test_check_server_link_overload;
           Alcotest.test_case "proc link overload" `Quick
             test_check_proc_link_overload;
+          Alcotest.test_case "duplicate download" `Quick
+            test_check_duplicate_download;
+          Alcotest.test_case "pp_violation golden" `Quick
+            test_pp_violation_golden;
           Alcotest.test_case "pair flow" `Quick test_pair_flow;
         ] );
       ( "cost",

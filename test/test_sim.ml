@@ -63,6 +63,37 @@ let fair_share_is_max_min =
       let rates = Fair_share.compute ~caps ~membership in
       Fair_share.is_max_min ~caps ~membership ~rates)
 
+(* Regression coverage for the clamp in [Fair_share.compute]: when a
+   frozen flow spans several constraints that saturate at (almost) the
+   same share, float rounding used to drive [remaining] slightly
+   negative, which later surfaced as a negative rate for an unrelated
+   flow.  Caps are engineered so every constraint saturates at the same
+   per-flow share, perturbed in the last few bits. *)
+let fair_share_clamp_near_saturated =
+  qtest ~count:200 "max-min holds on near-saturated overlapping constraints"
+    fair_share_gen (fun (seed, n_flows, n_caps) ->
+      let rng = Insp.Prng.create seed in
+      let membership =
+        Array.init n_flows (fun _ ->
+            let k = Insp.Prng.int_range rng 1 n_caps in
+            Insp.Prng.sample_without_replacement rng k n_caps)
+      in
+      let crossing = Array.make n_caps 0 in
+      Array.iter
+        (List.iter (fun c -> crossing.(c) <- crossing.(c) + 1))
+        membership;
+      let share = Insp.Prng.float_range rng 0.1 10.0 in
+      let caps =
+        Array.init n_caps (fun c ->
+            let jitter =
+              1.0 +. (1e-15 *. float_of_int (Insp.Prng.int_range rng (-4) 4))
+            in
+            share *. float_of_int (max 1 crossing.(c)) *. jitter)
+      in
+      let rates = Fair_share.compute ~caps ~membership in
+      Array.for_all (fun r -> r >= 0.0) rates
+      && Fair_share.is_max_min ~caps ~membership ~rates)
+
 let fair_share_conserves =
   qtest ~count:300 "no constraint oversubscribed" fair_share_gen
     (fun (seed, n_flows, n_caps) ->
@@ -174,6 +205,7 @@ let () =
             test_progressive_filling;
           Alcotest.test_case "zero cap" `Quick test_fair_share_zero_cap;
           fair_share_is_max_min;
+          fair_share_clamp_near_saturated;
           fair_share_conserves;
         ] );
       ( "runtime",
