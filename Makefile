@@ -1,15 +1,26 @@
 # Development entry points.  `make check` is the tier-1 gate.
 
-.PHONY: check build test bench clean
+.PHONY: check build test bench lint lint-quick clean
 
 check:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) lint
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Static analysis (DESIGN.md §9): determinism & float-hygiene rules
+# D1-D3, F1, P1, P2 over the whole tree.  `lint-quick` restricts to
+# files changed per `git diff --name-only`.
+lint:
+	dune build bin/insp_lint.exe
+	dune exec bin/insp_lint.exe -- --baseline lint.baseline lib bin bench test
+
+lint-quick:
+	dune build bin/insp_lint.exe
+	dune exec bin/insp_lint.exe -- --baseline lint.baseline --quick lib bin bench test
 
 bench:
 	dune exec bench/main.exe -- --quick

@@ -1,0 +1,80 @@
+(* CLI for the project linter (DESIGN.md §9).
+
+     insp_lint [--format text|csv] [--baseline FILE] [--update-baseline]
+               [--quick] [DIR|FILE ...]
+
+   Exit 0: clean (possibly via baseline); 1: new findings; 2: errors. *)
+
+module Driver = Insp_lint.Driver
+module Rule = Insp_lint.Rule
+
+let usage =
+  "insp_lint — determinism & float-hygiene analyzer for this repo\n\
+   usage: insp_lint [options] [dir|file ...]   (default: lib bin bench test)\n\n\
+   Rules:\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun r -> Printf.sprintf "  %s  %s" (Rule.id r) (Rule.synopsis r))
+         Rule.all)
+  ^ "\n\nOptions:"
+
+(* Files touched per git, for --quick.  Diff against HEAD so staged and
+   unstaged edits are both covered; untracked files are picked up too. *)
+let changed_files () =
+  let read cmd =
+    let ic = Unix.open_process_in cmd in
+    let rec go acc =
+      match In_channel.input_line ic with
+      | Some l when String.trim l <> "" -> go (String.trim l :: acc)
+      | Some _ -> go acc
+      | None -> acc
+    in
+    let lines = go [] in
+    ignore (Unix.close_process_in ic);
+    List.rev lines
+  in
+  read "git diff --name-only HEAD 2>/dev/null"
+  @ read "git ls-files --others --exclude-standard 2>/dev/null"
+  |> List.map Driver.normalize
+  |> List.sort_uniq String.compare
+
+let () =
+  let format = ref Driver.Text in
+  let baseline = ref None in
+  let update = ref false in
+  let quick = ref false in
+  let roots = ref [] in
+  let specs =
+    [
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "csv" ],
+            fun s -> format := if s = "csv" then Driver.Csv else Driver.Text ),
+        " report format (default text)" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE grandfathered findings; only new ones fail the run" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " rewrite the baseline file with the current findings" );
+      ( "--quick",
+        Arg.Set quick,
+        " only lint files changed per git diff --name-only" );
+    ]
+  in
+  Arg.parse specs (fun d -> roots := d :: !roots) usage;
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test" ]
+    | rs -> rs
+  in
+  let only = if !quick then Some (changed_files ()) else None in
+  exit
+    (Driver.run
+       {
+         Driver.format = !format;
+         baseline = !baseline;
+         update_baseline = !update;
+         roots;
+         only;
+       })

@@ -166,8 +166,9 @@ let run _rng app platform =
               (child_groups b app op)
           in
           if hosted then begin
-            ignore
-              (absorb_parents b app (Option.get (Builder.assignment b op)));
+            (match Builder.assignment b op with
+            | Some gid -> ignore (absorb_parents b app gid)
+            | None -> assert false (* hosted: try_add just placed op *));
             place ()
           end
           else

@@ -1,0 +1,131 @@
+type format = Text | Csv
+
+type config = {
+  format : format;
+  baseline : string option;
+  update_baseline : bool;
+  roots : string list;
+  only : string list option;
+}
+
+let normalize path =
+  String.split_on_char '/' path
+  |> List.filter (fun s -> s <> "" && s <> "." && s <> "..")
+  |> String.concat "/"
+
+let hidden name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let collect roots =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun n -> not (hidden n))
+      |> List.fold_left (fun acc n -> walk acc (Filename.concat path n)) acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.fold_left walk [] roots |> List.rev
+
+let lint_roots ?only roots =
+  let files = collect roots in
+  let files =
+    match only with
+    | None -> files
+    | Some allow ->
+      List.filter (fun f -> List.mem (normalize f) allow) files
+  in
+  List.concat_map
+    (fun path -> Engine.lint_file ~display:(normalize path) path)
+    files
+  |> List.sort Rule.compare_finding
+
+let load_baseline path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc
+            else
+              (* Key = first two whitespace-separated fields
+                 ("RULE file:line:col"); anything after is commentary. *)
+              let key =
+                match String.split_on_char ' ' line with
+                | rule :: site :: _ -> rule ^ " " ^ site
+                | _ -> line
+              in
+              go (key :: acc)
+        in
+        go [])
+  end
+
+let apply_baseline ~keys findings =
+  List.filter (fun f -> not (List.mem (Rule.baseline_key f) keys)) findings
+
+let write_baseline path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "# insp_lint baseline: grandfathered findings, one per line.\n\
+         # Format: RULE file:line:col [commentary].  Regenerate with\n\
+         # insp_lint --update-baseline; shrink it, never grow it.\n";
+      List.iter
+        (fun f ->
+          Printf.fprintf oc "%s %s\n" (Rule.baseline_key f) f.Rule.message)
+        findings)
+
+let print_findings fmt findings =
+  (match fmt with
+  | Text -> ()
+  | Csv -> print_endline Rule.csv_header);
+  List.iter
+    (fun f ->
+      match fmt with
+      | Text -> Format.printf "%a@." Rule.pp_text f
+      | Csv -> Format.printf "%a@." Rule.pp_csv f)
+    findings
+
+let run cfg =
+  match lint_roots ?only:cfg.only cfg.roots with
+  | exception Engine.Parse_error msg ->
+    prerr_endline ("insp_lint: " ^ msg);
+    2
+  | exception Sys_error msg ->
+    prerr_endline ("insp_lint: " ^ msg);
+    2
+  | findings ->
+    if cfg.update_baseline then begin
+      match cfg.baseline with
+      | None ->
+        prerr_endline "insp_lint: --update-baseline needs --baseline FILE";
+        2
+      | Some path ->
+        write_baseline path findings;
+        Printf.eprintf "insp_lint: wrote %d finding(s) to %s\n"
+          (List.length findings) path;
+        0
+    end
+    else begin
+      let keys =
+        match cfg.baseline with None -> [] | Some p -> load_baseline p
+      in
+      let fresh = apply_baseline ~keys findings in
+      print_findings cfg.format fresh;
+      if fresh = [] then 0
+      else begin
+        Printf.eprintf
+          "insp_lint: %d new finding(s) (%d grandfathered in the baseline)\n"
+          (List.length fresh)
+          (List.length findings - List.length fresh);
+        1
+      end
+    end

@@ -1,0 +1,295 @@
+open Parsetree
+
+type scope = Lib | Bin | Bench | Test
+
+let path_parts file =
+  String.split_on_char '/' file
+  |> List.filter (fun s -> s <> "" && s <> "." && s <> "..")
+
+let scope_of_file file =
+  match path_parts file with
+  | "bin" :: _ -> Bin
+  | "bench" :: _ -> Bench
+  | "test" :: _ -> Test
+  | _ -> Lib
+
+let under_lib_util file =
+  match path_parts file with "lib" :: "util" :: _ -> true | _ -> false
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+
+(* Identifier path with any [Stdlib] qualifier dropped, so
+   [Stdlib.Random.int] and [Random.int] compare equal. *)
+let ident_path (lid : Longident.t) =
+  match Longident.flatten lid with
+  | "Stdlib" :: rest -> rest
+  | path -> path
+
+let rec head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (ident_path txt)
+  | Pexp_apply (f, _) -> head_ident f
+  | _ -> None
+
+let is_sort_path = function
+  | [ "List"; ("sort" | "sort_uniq" | "stable_sort" | "fast_sort") ] -> true
+  | _ -> false
+
+(* Does this expression sort something — directly ([List.sort cmp e]) or
+   through a pipe ([e |> List.sort cmp], [List.sort cmp @@ e])?  Any
+   Hashtbl iteration underneath it is considered canonicalized. *)
+let applies_sort e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+    let arg_sorts (_, a) =
+      match head_ident a with Some p -> is_sort_path p | None -> false
+    in
+    match head_ident f with
+    | Some [ ("|>" | "@@") ] -> List.exists arg_sorts args
+    | Some p -> is_sort_path p
+    | None -> false)
+  | _ -> false
+
+let hashtbl_iteration = function
+  | [ "Hashtbl"; (("fold" | "iter" | "to_seq" | "to_seq_keys" | "to_seq_values") as fn) ]
+    ->
+    Some fn
+  | _ -> None
+
+let is_list_builder = function
+  | [ "@" ]
+  | [ "List"; ("append" | "cons" | "rev_append" | "of_seq") ] ->
+    true
+  | _ -> false
+
+(* Does the subtree build a list?  [::] (covers list literals), [@] and
+   friends.  This is what makes a Hashtbl iteration order-sensitive for
+   rule D2: folding into a float or emitting side effects keyed by
+   content is order-insensitive and passes. *)
+let builds_list e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it x ->
+          (match x.pexp_desc with
+          | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) ->
+            found := true
+          | Pexp_ident { txt; _ } when is_list_builder (ident_path txt) ->
+            found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it x);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* F1 operands: float literals and fields of the Demand.t / Ledger
+   records that carry accumulated float state. *)
+let float_fields =
+  [
+    "compute";
+    "download";
+    "comm_in";
+    "comm_out";
+    "need_rate";
+    "dl_rate";
+    "out_w";
+    "in_w";
+    "l_load";
+  ]
+
+let rec floaty_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> Some "a float literal"
+  | Pexp_field (_, { txt; _ }) -> (
+    match List.rev (ident_path txt) with
+    | f :: _ when List.mem f float_fields ->
+      Some (Printf.sprintf "float field '%s'" f)
+    | _ -> None)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> floaty_operand e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ])
+    when ident_path txt = [ "~-." ] || ident_path txt = [ "~-" ] ->
+    floaty_operand arg
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                            *)
+
+type ctx = {
+  file : string;
+  scope : scope;
+  lib_util : bool;
+  suppress : Suppress.t;
+  mutable sort_depth : int;
+  mutable allow_stack : Rule.t list list;
+  mutable findings : Rule.finding list;
+}
+
+let report ctx rule (loc : Location.t) message =
+  let pos = loc.loc_start in
+  let line = pos.Lexing.pos_lnum in
+  let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
+  let suppressed =
+    List.exists (List.mem rule) ctx.allow_stack
+    || Suppress.allows ctx.suppress ~line rule
+  in
+  if not suppressed then
+    ctx.findings <-
+      { Rule.rule; file = ctx.file; line; col; message } :: ctx.findings
+
+let check_ident ctx loc path =
+  (match path with
+  | "Random" :: _ when not ctx.lib_util ->
+    report ctx Rule.D1
+      loc
+      (Printf.sprintf
+         "use of %s: Stdlib.Random is nondeterministic; use the seeded \
+          Insp_util.Prng"
+         (String.concat "." path))
+  | _ -> ());
+  (match path with
+  | [ "Sys"; "time" ] | [ "Unix"; "time" ] | [ "Unix"; "gettimeofday" ]
+    when ctx.scope <> Bench ->
+    report ctx Rule.D3 loc
+      (Printf.sprintf
+         "wall-clock read %s is nondeterministic; timing belongs in bench/"
+         (String.concat "." path))
+  | _ -> ());
+  match path with
+  | ([ "List"; ("hd" | "nth") ] | [ "Option"; "get" ]) when ctx.scope = Lib ->
+    report ctx Rule.P1 loc
+      (Printf.sprintf
+         "partial call %s may raise; match totally or justify a suppression"
+         (String.concat "." path))
+  | _ -> ()
+
+let check_expr ctx e =
+  (match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> check_ident ctx loc (ident_path txt)
+  | _ -> ());
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+    (match head_ident f with
+    | Some path -> (
+      match hashtbl_iteration path with
+      | Some fn
+        when ctx.sort_depth = 0
+             && List.exists (fun (_, a) -> builds_list a) args ->
+        report ctx Rule.D2 e.pexp_loc
+          (Printf.sprintf
+             "Hashtbl.%s builds a list in hash-iteration order; pipe the \
+              result through List.sort / List.sort_uniq"
+             fn)
+      | _ -> ())
+    | None -> ());
+    match (f.pexp_desc, args) with
+    | Pexp_ident { txt; _ }, (_, a) :: (_, b) :: _
+      when List.mem (ident_path txt) [ [ "=" ]; [ "<>" ]; [ "compare" ] ] -> (
+      match
+        match floaty_operand a with
+        | Some _ as found -> found
+        | None -> floaty_operand b
+      with
+      | Some what ->
+        report ctx Rule.F1 e.pexp_loc
+          (Printf.sprintf
+             "%s on %s; use a tolerance (Insp_util.Stats.approx_eq or the \
+              checker's 1e-9 slack)"
+             (String.concat "." (ident_path txt))
+             what)
+      | None -> ())
+    | _ -> ())
+  | _ -> ()
+
+let make_iterator ctx =
+  let open Ast_iterator in
+  let push attrs k =
+    match Suppress.rules_of_attributes attrs with
+    | [] -> k ()
+    | allows ->
+      ctx.allow_stack <- allows :: ctx.allow_stack;
+      k ();
+      (match ctx.allow_stack with
+      | [] -> ()
+      | _ :: rest -> ctx.allow_stack <- rest)
+  in
+  let expr it e =
+    push e.pexp_attributes (fun () ->
+        check_expr ctx e;
+        let sorts = applies_sort e in
+        if sorts then ctx.sort_depth <- ctx.sort_depth + 1;
+        default_iterator.expr it e;
+        if sorts then ctx.sort_depth <- ctx.sort_depth - 1)
+  in
+  let structure_item it si =
+    let attrs =
+      match si.pstr_desc with
+      | Pstr_eval (_, attrs) -> attrs
+      | Pstr_attribute a -> [ a ]
+      | _ -> []
+    in
+    push attrs (fun () -> default_iterator.structure_item it si)
+  in
+  let value_binding it vb =
+    push vb.pvb_attributes (fun () -> default_iterator.value_binding it vb)
+  in
+  { default_iterator with expr; structure_item; value_binding }
+
+let lint_source ~file source =
+  let suppress = Suppress.scan source in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  let structure =
+    try Parse.implementation lexbuf
+    with _ -> raise (Parse_error (file ^ ": not a parseable OCaml implementation"))
+  in
+  let ctx =
+    {
+      file;
+      scope = scope_of_file file;
+      lib_util = under_lib_util file;
+      suppress;
+      sort_depth = 0;
+      allow_stack = [];
+      findings = [];
+    }
+  in
+  let it = make_iterator ctx in
+  it.structure it structure;
+  List.sort Rule.compare_finding ctx.findings
+
+let p2_finding ~file =
+  {
+    Rule.rule = Rule.P2;
+    file;
+    line = 1;
+    col = 0;
+    message =
+      Printf.sprintf "missing interface %s — every lib module ships an .mli"
+        (Filename.remove_extension (Filename.basename file) ^ ".mli");
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?display path =
+  let display = match display with Some d -> d | None -> path in
+  let source = read_file path in
+  let findings = lint_source ~file:display source in
+  let wants_mli =
+    scope_of_file display = Lib && Filename.check_suffix path ".ml"
+  in
+  if
+    wants_mli
+    && (not (Sys.file_exists (Filename.remove_extension path ^ ".mli")))
+    && (not (Suppress.allows (Suppress.scan source) ~line:1 Rule.P2))
+  then List.sort Rule.compare_finding (p2_finding ~file:display :: findings)
+  else findings

@@ -1,0 +1,39 @@
+(** The AST analysis core of [insp_lint].
+
+    Files are parsed with the compiler's own untyped parser
+    ([compiler-libs.common]: {!Parse.implementation}) and walked with
+    {!Ast_iterator}; no external dependency and no typing pass.  All
+    checks are therefore {e syntactic} approximations of the semantic
+    disciplines they guard — deliberate: they run on every
+    [dune runtest] and must be fast and dependency-free.  See
+    DESIGN.md §9 for the rule definitions. *)
+
+type scope = Lib | Bin | Bench | Test
+(** Which part of the repo a file belongs to; rules are scoped
+    (P1/P2 fire only in [Lib], D3 is exempt in [Bench], D1 is exempt
+    under [lib/util]).  Unknown roots are treated as [Lib] — the
+    strictest scope. *)
+
+val scope_of_file : string -> scope
+(** From the leading path segment after dropping ["."]/[".."]
+    components, so ["../lib/foo.ml"] and ["lib/foo.ml"] agree. *)
+
+exception Parse_error of string
+(** Raised when a file does not lex/parse as an OCaml implementation. *)
+
+val lint_source : file:string -> string -> Rule.finding list
+(** Run every AST rule (D1, D2, D3, F1, P1) on one implementation
+    source.  [file] is the path used for scoping and reporting; the
+    source itself is taken from the string, so tests can lint inline
+    fixtures.  Comment and attribute suppressions are honoured.
+    Findings are sorted by {!Rule.compare_finding}. *)
+
+val p2_finding : file:string -> Rule.finding
+(** The finding P2 reports (at line 1) for a [lib/**/*.ml] with no
+    matching [.mli].  Existence checking lives in {!Driver}. *)
+
+val lint_file : ?display:string -> string -> Rule.finding list
+(** Read [path] from disk and lint it; [display] (default the path
+    itself) is the name used in findings.  Adds the P2 check: a [Lib]
+    implementation with no sibling [.mli] on disk yields
+    {!p2_finding} unless line 1 carries a suppression. *)

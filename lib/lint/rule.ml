@@ -1,0 +1,66 @@
+type t = D1 | D2 | D3 | F1 | P1 | P2
+
+let all = [ D1; D2; D3; F1; P1; P2 ]
+
+let id = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | F1 -> "F1"
+  | P1 -> "P1"
+  | P2 -> "P2"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "d1" -> Some D1
+  | "d2" -> Some D2
+  | "d3" -> Some D3
+  | "f1" -> Some F1
+  | "p1" -> Some P1
+  | "p2" -> Some P2
+  | _ -> None
+
+let synopsis = function
+  | D1 -> "Stdlib.Random is nondeterministic; use the seeded Insp_util.Prng"
+  | D2 -> "Hashtbl iteration order is arbitrary; sort results built from it"
+  | D3 -> "wall-clock reads are nondeterministic; timing belongs in bench/"
+  | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
+  | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
+  | P2 -> "every lib module ships an explicit interface (.mli)"
+
+type finding = {
+  rule : t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (id a.rule) (id b.rule)
+
+let pp_text ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col (id f.rule)
+    f.message
+
+let csv_escape s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quote then s
+  else "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let csv_header = "rule,file,line,col,message"
+
+let pp_csv ppf f =
+  Format.fprintf ppf "%s,%s,%d,%d,%s" (id f.rule) (csv_escape f.file) f.line
+    f.col (csv_escape f.message)
+
+let baseline_key f = Printf.sprintf "%s %s:%d:%d" (id f.rule) f.file f.line f.col

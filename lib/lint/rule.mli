@@ -1,0 +1,50 @@
+(** The rule catalog of [insp_lint] and its finding type.
+
+    Each rule guards one of the determinism / float-hygiene disciplines
+    the reproduction depends on (DESIGN.md §9): bit-reproducible seeded
+    runs and the ledger/oracle float contract.  Rules are identified by
+    a short id ([D1] … [P2]) that is also the token accepted by the
+    suppression syntax ([[@lint.allow "d2"]] or [(* lint: allow d2 *)]). *)
+
+type t =
+  | D1  (** no [Stdlib.Random] outside [lib/util] PRNG internals *)
+  | D2  (** Hashtbl iteration feeding a list must be canonicalized *)
+  | D3  (** no wall-clock reads ([Sys.time], [Unix.gettimeofday]) outside [bench/] *)
+  | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
+  | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
+  | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
+
+val all : t list
+(** In report order: D1, D2, D3, F1, P1, P2. *)
+
+val id : t -> string
+(** Upper-case id, e.g. ["D2"]. *)
+
+val of_string : string -> t option
+(** Case-insensitive; trims whitespace.  ["d2"] and ["D2"] both work. *)
+
+val synopsis : t -> string
+(** One-line description used by [--help] and DESIGN.md. *)
+
+type finding = {
+  rule : t;
+  file : string;  (** repo-relative path as reported *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** Report order: file, then line, then column, then rule id. *)
+
+val pp_text : Format.formatter -> finding -> unit
+(** [file:line:col: [RULE] message] — the golden format tested in
+    [test/test_lint.ml]. *)
+
+val pp_csv : Format.formatter -> finding -> unit
+(** One CSV record [rule,file,line,col,message] with RFC-4180 quoting. *)
+
+val csv_header : string
+
+val baseline_key : finding -> string
+(** Stable key used by the baseline file: ["RULE file:line:col"]. *)

@@ -1,0 +1,208 @@
+(* Comment directives are invisible to the parsetree, so they are
+   recovered with a small hand lexer over the raw source.  The lexer
+   only needs to be sound about what is and is not a comment: it tracks
+   double-quoted strings (with escapes), quoted-string literals
+   ({id|…|id}), char literals and comment nesting. *)
+
+type t = (int * Rule.t list) list
+(* (line, allowed rules) for each directive; a directive covers its own
+   line and the following one.  Files are small, assoc list is fine. *)
+
+let directive_rules text =
+  (* [text] is the body of one comment; extract rules after
+     "lint: allow".  Tokens that do not name a rule (justification
+     prose) end or interrupt the list harmlessly. *)
+  let lower = String.lowercase_ascii text in
+  let find_sub start sub =
+    let n = String.length lower and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub lower i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go start
+  in
+  match find_sub 0 "lint:" with
+  | None -> []
+  | Some after_colon -> (
+    match find_sub after_colon "allow" with
+    | None -> []
+    | Some after_allow ->
+      let rest = String.sub lower after_allow (String.length lower - after_allow) in
+      let tokens =
+        String.map (function ',' | ';' | '\t' | '\n' -> ' ' | c -> c) rest
+        |> String.split_on_char ' '
+        |> List.filter (fun s -> s <> "")
+      in
+      let rec take acc = function
+        | [] -> List.rev acc
+        | tok :: rest -> (
+          match Rule.of_string tok with
+          | Some r -> take (r :: acc) rest
+          | None -> List.rev acc)
+      in
+      take [] tokens)
+
+let scan source =
+  let n = String.length source in
+  let directives = ref [] in
+  let line = ref 1 in
+  let bump c = if c = '\n' then incr line in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  (* Skip a double-quoted string starting at !i (source.[!i] = '"'). *)
+  let skip_string () =
+    bump source.[!i];
+    incr i;
+    let rec go () =
+      if !i < n then begin
+        let c = source.[!i] in
+        bump c;
+        incr i;
+        match c with
+        | '\\' ->
+          if !i < n then begin
+            bump source.[!i];
+            incr i
+          end;
+          go ()
+        | '"' -> ()
+        | _ -> go ()
+      end
+    in
+    go ()
+  in
+  (* Skip {id|…|id} starting at '{'.  Returns false if not actually a
+     quoted string (plain record brace). *)
+  let skip_quoted_string () =
+    let j = ref (!i + 1) in
+    while
+      !j < n
+      && (match source.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j < n && source.[!j] = '|' then begin
+      let id = String.sub source (!i + 1) (!j - !i - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let m = String.length closing in
+      let rec go k =
+        if k + m > n then n
+        else if String.sub source k m = closing then k + m
+        else k + 1 |> go
+      in
+      let stop = go (!j + 1) in
+      while !i < stop do
+        bump source.[!i];
+        incr i
+      done;
+      true
+    end
+    else false
+  in
+  (* Skip a comment starting at "(*"; records any directive it holds.
+     Handles nesting and strings inside comments. *)
+  let rec skip_comment () =
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    bump source.[!i];
+    incr i;
+    bump source.[!i];
+    incr i;
+    let rec go depth =
+      if !i >= n then ()
+      else
+        match (source.[!i], peek 1) with
+        | '(', Some '*' ->
+          bump source.[!i];
+          incr i;
+          bump source.[!i];
+          incr i;
+          go (depth + 1)
+        | '*', Some ')' ->
+          bump source.[!i];
+          incr i;
+          bump source.[!i];
+          incr i;
+          if depth > 0 then go (depth - 1)
+        | '"', _ ->
+          skip_string ();
+          go depth
+        | c, _ ->
+          Buffer.add_char buf c;
+          bump c;
+          incr i;
+          go depth
+    in
+    go 0;
+    match directive_rules (Buffer.contents buf) with
+    | [] -> ()
+    | rules -> directives := (start_line, rules) :: !directives
+  and step () =
+    if !i < n then begin
+      (match (source.[!i], peek 1) with
+      | '(', Some '*' -> skip_comment ()
+      | '"', _ -> skip_string ()
+      | '{', _ ->
+        if not (skip_quoted_string ()) then begin
+          bump source.[!i];
+          incr i
+        end
+      | '\'', _ -> (
+        (* Char literal ('x', '\n', '\123') vs type variable ('a).
+           Only skip as a literal when it closes with a quote. *)
+        match (peek 1, peek 2, peek 3) with
+        | Some '\\', _, _ ->
+          let j = ref (!i + 2) in
+          while !j < n && source.[!j] <> '\'' do
+            incr j
+          done;
+          while !i <= !j && !i < n do
+            bump source.[!i];
+            incr i
+          done
+        | Some _, Some '\'', _ ->
+          bump source.[!i];
+          incr i;
+          bump source.[!i];
+          incr i;
+          bump source.[!i];
+          incr i
+        | _ ->
+          bump source.[!i];
+          incr i)
+      | c, _ ->
+        bump c;
+        incr i);
+      step ()
+    end
+  in
+  step ();
+  !directives
+
+let allows t ~line rule =
+  List.exists
+    (fun (l, rules) -> (l = line || l + 1 = line) && List.mem rule rules)
+    t
+
+let rules_of_attributes attrs =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+          String.map (function ',' -> ' ' | c -> c) s
+          |> String.split_on_char ' '
+          |> List.filter_map Rule.of_string
+        | _ -> [])
+    attrs

@@ -1,0 +1,28 @@
+(** Suppression syntax for [insp_lint].
+
+    Two forms, both naming rules by id (case-insensitive, comma- or
+    space-separated):
+
+    - attribute, scoping to an expression / binding / structure item:
+      {[ (Option.get x [@lint.allow "p1"]) ]}
+      {[ let hot () = Sys.time () [@@lint.allow "d3"] ]}
+    - comment, scoping to the comment's own line {e and} the next line:
+      {[ (* lint: allow f1 — exact-zero reset is the property under test *)
+         assert (Ledger.nic_load t u = 0.0) ]}
+
+    Unknown tokens after [allow] (e.g. trailing prose set off by a dash)
+    are ignored, so directives can carry a justification inline. *)
+
+type t
+(** Comment directives scanned from one source file. *)
+
+val scan : string -> t
+(** Lexes the raw source (strings, char literals and nested comments are
+    handled) and collects every [lint: allow …] comment directive. *)
+
+val allows : t -> line:int -> Rule.t -> bool
+(** Is the rule suppressed at this (1-based) line by a comment
+    directive? *)
+
+val rules_of_attributes : Parsetree.attributes -> Rule.t list
+(** Rules named by [[@lint.allow "…"]] attributes, if any. *)

@@ -217,7 +217,13 @@ let of_apps apps =
         roots :=
           (Hashtbl.find mapping (Optree.root tree), App.rho app) :: !roots)
       apps;
-    let nodes = Array.map Option.get nodes in
+    let nodes =
+      Array.map
+        (function
+          | Some n -> n
+          | None -> assert false (* every id is filled by the postorder pass *))
+        nodes
+    in
     {
       nodes;
       objects = App.objects first;

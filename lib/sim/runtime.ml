@@ -191,7 +191,11 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let finish_flow f =
     (match f.kind with
     | Message { child } ->
-      let p = Option.get (Optree.parent tree child) in
+      let p =
+        match Optree.parent tree child with
+        | Some p -> p
+        | None -> assert false (* no Message flow is ever sent for the root *)
+      in
       let slot = child_slot p child in
       arrived.(p).(slot) <- arrived.(p).(slot) + 1
     | Download _ -> ());

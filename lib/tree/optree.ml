@@ -60,7 +60,11 @@ let of_spec ~n_object_types spec =
   in
   let root_id = build None spec in
   assert (root_id = 0);
-  let nodes = Array.make !next (List.hd !acc) in
+  let nodes =
+    match !acc with
+    | [] -> assert false (* build always pushes at least the root *)
+    | first :: _ -> Array.make !next first
+  in
   List.iter (fun n -> nodes.(n.id) <- n) !acc;
   { nodes; n_object_types }
 

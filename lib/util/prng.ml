@@ -51,7 +51,11 @@ let choose t arr =
 let choose_list t l =
   match l with
   | [] -> invalid_arg "Prng.choose_list: empty list"
-  | _ -> List.nth l (int t (List.length l))
+  | _ :: _ ->
+    (* Same index as [List.nth l (int t (length l))], so the stream of
+       PRNG draws — and every seeded experiment — is unchanged. *)
+    let arr = Array.of_list l in
+    arr.(int t (Array.length arr))
 
 let shuffle_in_place t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -88,3 +88,7 @@ let geometric_mean = function
         0.0 samples
     in
     exp (log_sum /. float_of_int (List.length samples))
+
+let approx_eq ?(rel = 1e-9) ?(abs = 1e-12) a b =
+  let d = Float.abs (a -. b) in
+  d <= abs || d <= rel *. Float.max (Float.abs a) (Float.abs b)

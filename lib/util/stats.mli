@@ -41,3 +41,10 @@ val pp_summary : Format.formatter -> summary -> unit
 
 val geometric_mean : float list -> float
 (** Requires all samples strictly positive; 1.0 on the empty list. *)
+
+val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Tolerant float equality:
+    [|a - b| <= max (abs, rel * max |a| |b|)] with [rel = 1e-9] and
+    [abs = 1e-12] by default — the tolerance regime of the feasibility
+    checker (DESIGN.md §8).  This is the helper lint rule F1 points to
+    instead of [=]/[<>]/polymorphic [compare] on float data. *)

@@ -34,24 +34,28 @@ let pad align width s =
       String.make left ' ' ^ s ^ String.make (missing - left) ' '
 
 let render t =
-  let headers = List.map fst t.headers in
-  let aligns = List.map snd t.headers in
+  (* Arrays for anything indexed per-column: positional access is total
+     here because [add_row] pads every row to the header width. *)
+  let headers = Array.of_list (List.map fst t.headers) in
+  let aligns = Array.of_list (List.map snd t.headers) in
   let rows = List.rev t.rows in
   let cell_rows =
-    List.filter_map (function Cells c -> Some c | Separator -> None) rows
+    List.filter_map
+      (function Cells c -> Some (Array.of_list c) | Separator -> None)
+      rows
   in
   let widths =
-    List.mapi
+    Array.mapi
       (fun i h ->
         List.fold_left
-          (fun acc cells -> max acc (String.length (List.nth cells i)))
+          (fun acc cells -> max acc (String.length cells.(i)))
           (String.length h) cell_rows)
       headers
   in
   let buf = Buffer.create 1024 in
   let rule () =
     Buffer.add_char buf '+';
-    List.iter
+    Array.iter
       (fun w ->
         Buffer.add_string buf (String.make (w + 2) '-');
         Buffer.add_char buf '+')
@@ -60,12 +64,10 @@ let render t =
   in
   let emit_cells cells aligns =
     Buffer.add_char buf '|';
-    List.iteri
+    Array.iteri
       (fun i cell ->
-        let w = List.nth widths i in
-        let a = List.nth aligns i in
         Buffer.add_char buf ' ';
-        Buffer.add_string buf (pad a w cell);
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell);
         Buffer.add_string buf " |")
       cells;
     Buffer.add_char buf '\n'
@@ -76,11 +78,11 @@ let render t =
     Buffer.add_string buf title;
     Buffer.add_char buf '\n');
   rule ();
-  emit_cells headers (List.map (fun _ -> Center) headers);
+  emit_cells headers (Array.map (fun _ -> Center) headers);
   rule ();
   List.iter
     (function
-      | Cells cells -> emit_cells cells aligns
+      | Cells cells -> emit_cells (Array.of_list cells) aligns
       | Separator -> rule ())
     rows;
   rule ();

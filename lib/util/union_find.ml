@@ -33,13 +33,18 @@ let same t a b = find t a = find t b
 
 let size t i = t.count.(find t i)
 
+(* Canonical order by construction — no hash iteration anywhere near a
+   seeded experiment (lint rule D2).  Bucketing by root with a downward
+   loop leaves each group ascending; groups are then ordered by smallest
+   member, which is each bucket's head. *)
 let groups t =
   let n = Array.length t.parent in
-  let tbl = Hashtbl.create 16 in
+  let buckets = Array.make n [] in
   for i = n - 1 downto 0 do
     let r = find t i in
-    let members = try Hashtbl.find tbl r with Not_found -> [] in
-    Hashtbl.replace tbl r (i :: members)
+    buckets.(r) <- i :: buckets.(r)
   done;
-  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
-  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  let smallest = function [] -> max_int | m :: _ -> m in
+  Array.to_list buckets
+  |> List.filter (fun g -> g <> [])
+  |> List.sort (fun a b -> Int.compare (smallest a) (smallest b))

@@ -68,7 +68,9 @@ let test_exact_zero_after_undo () =
   (* Strict equality on purpose: the empty group must reset to exact
      zero, not to accumulated float residue. *)
   Alcotest.(check bool) "compute is exact zero" true
+    (* lint: allow f1 — exact-zero reset is the property under test *)
     (Ledger.compute_load t u = 0.0);
+  (* lint: allow f1 — exact-zero reset is the property under test *)
   Alcotest.(check bool) "nic is exact zero" true (Ledger.nic_load t u = 0.0);
   Ledger.assert_consistent t
 

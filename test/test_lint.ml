@@ -1,0 +1,369 @@
+(* The insp_lint analyzer (DESIGN.md §9): golden report strings for
+   every rule on fixture snippets — positive (fires), negative (does
+   not), suppressed — in the pp_violation golden style of
+   test_mapping.ml; plus baseline round-trips and the "repo is
+   lint-clean" integration gate. *)
+
+module Rule = Insp_lint.Rule
+module Engine = Insp_lint.Engine
+module Driver = Insp_lint.Driver
+
+let render f = Format.asprintf "%a" Rule.pp_text f
+
+let lint ?(file = "lib/fixture.ml") src =
+  List.map render (Engine.lint_source ~file src)
+
+let check_reports name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rendering goldens: the report format is part of the contract.       *)
+
+let test_pp_finding_golden () =
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Rule.id r)
+        (Printf.sprintf "lib/a.ml:5:2: [%s] m" (Rule.id r))
+        (render { Rule.rule = r; file = "lib/a.ml"; line = 5; col = 2; message = "m" }))
+    Rule.all
+
+let test_pp_csv_golden () =
+  Alcotest.(check string)
+    "csv quoting"
+    {|F1,lib/x.ml,3,4,"compare on, well, floats"|}
+    (Format.asprintf "%a" Rule.pp_csv
+       {
+         Rule.rule = Rule.F1;
+         file = "lib/x.ml";
+         line = 3;
+         col = 4;
+         message = "compare on, well, floats";
+       });
+  Alcotest.(check string) "csv header" "rule,file,line,col,message" Rule.csv_header
+
+(* ------------------------------------------------------------------ *)
+(* D1: Stdlib.Random                                                   *)
+
+let d1_src = {|let jitter () = Random.int 5
+|}
+
+let test_d1_positive () =
+  check_reports "D1 fires"
+    [
+      "lib/fixture.ml:1:16: [D1] use of Random.int: Stdlib.Random is \
+       nondeterministic; use the seeded Insp_util.Prng";
+    ]
+    (lint d1_src);
+  check_reports "D1 fires on qualified Stdlib.Random.self_init"
+    [
+      "lib/fixture.ml:1:9: [D1] use of Random.self_init: Stdlib.Random is \
+       nondeterministic; use the seeded Insp_util.Prng";
+    ]
+    (lint {|let () = Stdlib.Random.self_init ()
+|})
+
+let test_d1_negative () =
+  (* The PRNG internals under lib/util are the one exemption. *)
+  check_reports "D1 exempt in lib/util" []
+    (lint ~file:"lib/util/prng_extra.ml" d1_src);
+  check_reports "no Random, no finding" [] (lint {|let jitter () = 5
+|})
+
+let test_d1_suppressed () =
+  check_reports "attribute suppression" []
+    (lint {|let jitter () = (Random.int 5 [@lint.allow "d1"])
+|})
+
+(* ------------------------------------------------------------------ *)
+(* D2: Hashtbl iteration feeding a list                                *)
+
+let test_d2_positive () =
+  check_reports "D2 fires on unsorted fold into a list"
+    [
+      "lib/fixture.ml:1:14: [D2] Hashtbl.fold builds a list in \
+       hash-iteration order; pipe the result through List.sort / \
+       List.sort_uniq";
+    ]
+    (lint {|let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+|});
+  check_reports "D2 fires on iter consing into a ref"
+    [
+      "lib/fixture.ml:1:16: [D2] Hashtbl.iter builds a list in \
+       hash-iteration order; pipe the result through List.sort / \
+       List.sort_uniq";
+    ]
+    (lint
+       {|let pairs tbl = Hashtbl.iter (fun k v -> cells := (k, v) :: !cells) tbl
+|})
+
+let test_d2_negative () =
+  check_reports "sorted fold passes" []
+    (lint
+       {|let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+|});
+  check_reports "sort_uniq over an enclosing pipe passes" []
+    (lint
+       {|let ids us = List.concat_map (fun u -> Hashtbl.fold (fun k _ a -> k :: a) u []) us |> List.sort_uniq compare
+|});
+  check_reports "order-insensitive float fold passes" []
+    (lint {|let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+|})
+
+let test_d2_suppressed () =
+  check_reports "comment directive on the preceding line" []
+    (lint
+       {|(* lint: allow d2 — consumed as a set downstream *)
+let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+|})
+
+(* ------------------------------------------------------------------ *)
+(* D3: wall-clock reads                                                *)
+
+let d3_src = {|let t0 = Sys.time ()
+|}
+
+let test_d3_positive () =
+  check_reports "D3 fires in lib"
+    [
+      "lib/fixture.ml:1:9: [D3] wall-clock read Sys.time is \
+       nondeterministic; timing belongs in bench/";
+    ]
+    (lint d3_src);
+  check_reports "D3 fires on Unix.gettimeofday in test scope"
+    [
+      "test/fixture.ml:1:9: [D3] wall-clock read Unix.gettimeofday is \
+       nondeterministic; timing belongs in bench/";
+    ]
+    (lint ~file:"test/fixture.ml" {|let t0 = Unix.gettimeofday ()
+|})
+
+let test_d3_negative () =
+  check_reports "bench is exempt" [] (lint ~file:"bench/fixture.ml" d3_src)
+
+let test_d3_suppressed () =
+  check_reports "attribute on the binding" []
+    (lint {|let t0 = Sys.time () [@@lint.allow "d3"]
+|})
+
+(* ------------------------------------------------------------------ *)
+(* F1: float equality / polymorphic compare                            *)
+
+let test_f1_positive () =
+  check_reports "F1 fires on a float literal"
+    [
+      "lib/fixture.ml:1:16: [F1] = on a float literal; use a tolerance \
+       (Insp_util.Stats.approx_eq or the checker's 1e-9 slack)";
+    ]
+    (lint {|let is_zero x = x = 0.0
+|});
+  check_reports "F1 fires on compare over a known float field"
+    [
+      "lib/fixture.ml:1:15: [F1] compare on float field 'compute'; use a \
+       tolerance (Insp_util.Stats.approx_eq or the checker's 1e-9 slack)";
+    ]
+    (lint {|let same a b = compare a.compute b.compute = 0
+|});
+  check_reports "F1 fires on <> over a ledger flow field"
+    [
+      "lib/fixture.ml:1:11: [F1] <> on float field 'out_w'; use a tolerance \
+       (Insp_util.Stats.approx_eq or the checker's 1e-9 slack)";
+    ]
+    (lint {|let ne f = f.out_w <> 0.5
+|})
+
+let test_f1_negative () =
+  check_reports "ordering comparisons are fine" []
+    (lint {|let lt a b = a.compute < b.compute
+|});
+  check_reports "equality without float evidence is fine" []
+    (lint {|let eq a b = a = b
+|});
+  check_reports "tolerance helper is the blessed idiom" []
+    (lint {|let same a b = Insp_util.Stats.approx_eq a.compute b.compute
+|})
+
+let test_f1_suppressed () =
+  check_reports "attribute suppression" []
+    (lint {|let is_zero x = ((x = 0.0) [@lint.allow "f1"])
+|})
+
+(* ------------------------------------------------------------------ *)
+(* P1: partial stdlib calls in lib/                                    *)
+
+let test_p1_positive () =
+  check_reports "P1 fires on List.hd"
+    [
+      "lib/fixture.ml:1:14: [P1] partial call List.hd may raise; match \
+       totally or justify a suppression";
+    ]
+    (lint {|let first l = List.hd l
+|});
+  check_reports "P1 fires on Option.get and List.nth"
+    [
+      "lib/fixture.ml:1:12: [P1] partial call Option.get may raise; match \
+       totally or justify a suppression";
+      "lib/fixture.ml:2:15: [P1] partial call List.nth may raise; match \
+       totally or justify a suppression";
+    ]
+    (lint {|let get o = Option.get o
+let pick l i = List.nth l i
+|})
+
+let test_p1_negative () =
+  check_reports "P1 is scoped to lib/" []
+    (lint ~file:"test/fixture.ml" {|let first l = List.hd l
+|});
+  check_reports "total match passes" []
+    (lint {|let first = function [] -> None | x :: _ -> Some x
+|})
+
+let test_p1_suppressed () =
+  check_reports "same-line comment directive" []
+    (lint
+       {|let first l = List.hd l (* lint: allow p1 — caller guarantees non-empty *)
+|})
+
+(* ------------------------------------------------------------------ *)
+(* P2: missing interface files                                         *)
+
+let fixture_dir = "p2_fixtures"
+
+let write_fixture name content =
+  if not (Sys.file_exists fixture_dir) then Sys.mkdir fixture_dir 0o755;
+  let path = Filename.concat fixture_dir name in
+  Out_channel.with_open_text path (fun oc -> output_string oc content);
+  path
+
+let test_p2_positive () =
+  let path = write_fixture "no_mli.ml" "let x = 1\n" in
+  check_reports "missing .mli is flagged"
+    [
+      "lib/no_mli.ml:1:0: [P2] missing interface no_mli.mli — every lib \
+       module ships an .mli";
+    ]
+    (List.map render (Engine.lint_file ~display:"lib/no_mli.ml" path))
+
+let test_p2_negative () =
+  let path = write_fixture "has_mli.ml" "let x = 1\n" in
+  let _ = write_fixture "has_mli.mli" "val x : int\n" in
+  check_reports "matching .mli passes" []
+    (List.map render (Engine.lint_file ~display:"lib/has_mli.ml" path));
+  let bin_path = write_fixture "binary.ml" "let () = ()\n" in
+  check_reports "P2 is scoped to lib/" []
+    (List.map render (Engine.lint_file ~display:"bin/binary.ml" bin_path))
+
+let test_p2_suppressed () =
+  let path =
+    write_fixture "p2_waived.ml"
+      "(* lint: allow p2 — exploratory scratch module *)\nlet x = 1\n"
+  in
+  check_reports "line-1 comment directive waives P2" []
+    (List.map render (Engine.lint_file ~display:"lib/p2_waived.ml" path))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline round-trip                                                 *)
+
+let test_baseline () =
+  let f =
+    { Rule.rule = Rule.P1; file = "lib/x.ml"; line = 3; col = 4; message = "m" }
+  in
+  Alcotest.(check string) "baseline key" "P1 lib/x.ml:3:4" (Rule.baseline_key f);
+  let path = write_fixture "lint.baseline" "# header\n\nP1 lib/x.ml:3:4 legacy\n" in
+  let keys = Driver.load_baseline path in
+  Alcotest.(check (list string)) "keys parsed" [ "P1 lib/x.ml:3:4" ] keys;
+  check_reports "grandfathered finding filtered" []
+    (List.map render (Driver.apply_baseline ~keys [ f ]));
+  let moved = { f with Rule.line = 9 } in
+  check_reports "a new site is not grandfathered"
+    [ "lib/x.ml:9:4: [P1] m" ]
+    (List.map render (Driver.apply_baseline ~keys [ f; moved ]));
+  Alcotest.(check (list string)) "missing baseline file is empty" []
+    (Driver.load_baseline "does_not_exist.baseline")
+
+let test_normalize () =
+  Alcotest.(check string) "dots dropped" "lib/x.ml"
+    (Driver.normalize "../lib/./x.ml");
+  Alcotest.(check string) "idempotent" "lib/x.ml" (Driver.normalize "lib/x.ml")
+
+(* ------------------------------------------------------------------ *)
+(* Integration: the repo itself is lint-clean                          *)
+
+let repo_roots = [ "../lib"; "../bin"; "../bench"; "../test" ]
+
+let test_repo_lint_clean () =
+  let roots = List.filter Sys.file_exists repo_roots in
+  Alcotest.(check bool) "repo roots visible from the test sandbox" true
+    (roots <> []);
+  let findings = Driver.lint_roots roots in
+  let keys = Driver.load_baseline "../lint.baseline" in
+  check_reports "repo is lint-clean (modulo baseline)" []
+    (List.map render (Driver.apply_baseline ~keys findings))
+
+(* The shipped baseline must stay empty for lib/mapping and
+   lib/heuristics: those directories pass with no baseline at all. *)
+let test_mapping_heuristics_clean_without_baseline () =
+  let roots =
+    List.filter Sys.file_exists [ "../lib/mapping"; "../lib/heuristics" ]
+  in
+  Alcotest.(check bool) "mapping/heuristics visible" true (roots <> []);
+  check_reports "clean with an empty baseline" []
+    (List.map render (Driver.lint_roots roots))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "pp_text golden (all rules)" `Quick
+            test_pp_finding_golden;
+          Alcotest.test_case "pp_csv golden" `Quick test_pp_csv_golden;
+        ] );
+      ( "d1",
+        [
+          Alcotest.test_case "positive" `Quick test_d1_positive;
+          Alcotest.test_case "negative" `Quick test_d1_negative;
+          Alcotest.test_case "suppressed" `Quick test_d1_suppressed;
+        ] );
+      ( "d2",
+        [
+          Alcotest.test_case "positive" `Quick test_d2_positive;
+          Alcotest.test_case "negative" `Quick test_d2_negative;
+          Alcotest.test_case "suppressed" `Quick test_d2_suppressed;
+        ] );
+      ( "d3",
+        [
+          Alcotest.test_case "positive" `Quick test_d3_positive;
+          Alcotest.test_case "negative" `Quick test_d3_negative;
+          Alcotest.test_case "suppressed" `Quick test_d3_suppressed;
+        ] );
+      ( "f1",
+        [
+          Alcotest.test_case "positive" `Quick test_f1_positive;
+          Alcotest.test_case "negative" `Quick test_f1_negative;
+          Alcotest.test_case "suppressed" `Quick test_f1_suppressed;
+        ] );
+      ( "p1",
+        [
+          Alcotest.test_case "positive" `Quick test_p1_positive;
+          Alcotest.test_case "negative" `Quick test_p1_negative;
+          Alcotest.test_case "suppressed" `Quick test_p1_suppressed;
+        ] );
+      ( "p2",
+        [
+          Alcotest.test_case "positive" `Quick test_p2_positive;
+          Alcotest.test_case "negative" `Quick test_p2_negative;
+          Alcotest.test_case "suppressed" `Quick test_p2_suppressed;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "baseline round-trip" `Quick test_baseline;
+          Alcotest.test_case "path normalization" `Quick test_normalize;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "repo is lint-clean" `Quick test_repo_lint_clean;
+          Alcotest.test_case "mapping+heuristics need no baseline" `Quick
+            test_mapping_heuristics_clean_without_baseline;
+        ] );
+    ]

@@ -255,6 +255,21 @@ let test_uf_basic () =
     [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ]
     (Union_find.groups uf)
 
+(* Regression for the D2 determinism fix: [groups] must return groups
+   ordered by smallest member with members ascending, whatever union
+   order made the roots.  Unions below deliberately leave high-numbered
+   roots so root order <> canonical order. *)
+let test_uf_groups_canonical () =
+  let uf = Union_find.create 8 in
+  ignore (Union_find.union uf 7 2);
+  ignore (Union_find.union uf 5 2);
+  ignore (Union_find.union uf 6 1);
+  ignore (Union_find.union uf 4 0);
+  Alcotest.(check (list (list int)))
+    "groups sorted by smallest member, members ascending"
+    [ [ 0; 4 ]; [ 1; 6 ]; [ 2; 5; 7 ]; [ 3 ] ]
+    (Union_find.groups uf)
+
 let uf_union_commutes =
   qtest "union order irrelevant"
     QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 19) (int_range 0 19)))
@@ -317,6 +332,8 @@ let () =
       ( "union_find",
         [
           Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "groups canonical order" `Quick
+            test_uf_groups_canonical;
           uf_union_commutes;
           uf_sizes_sum;
         ] );
