@@ -1,6 +1,6 @@
 # Development entry points.  `make check` is the tier-1 gate.
 
-.PHONY: check build test bench lint lint-quick clean
+.PHONY: check build test bench bench-json lint lint-quick clean
 
 check:
 	dune build && dune runtest && $(MAKE) lint
@@ -24,6 +24,11 @@ lint-quick:
 
 bench:
 	dune exec bench/main.exe -- --quick
+
+# Machine-readable benchmark summary (wall time + headline counters per
+# experiment), for trend tracking across commits.
+bench-json:
+	dune exec bench/main.exe -- --quick --json BENCH_insp.json
 
 clean:
 	dune clean

@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- fig2a fig3    # selected experiments only
      dune exec bench/main.exe -- catalog       # just the Table-1 catalog
      dune exec bench/main.exe -- --quick       # fast mode (fewer seeds)
+     dune exec bench/main.exe -- --json F      # machine-readable summary to F
 
    For every table and figure of the paper's evaluation (see DESIGN.md
    §4) this prints the regenerated series as a text table plus a CSV
@@ -23,14 +24,76 @@ let line title =
 let catalog_table () =
   Format.printf "%a@." Insp.Catalog.pp Insp.Catalog.dell_2008
 
+(* Each experiment runs under its own observability sink and wall-clock
+   timer; the per-experiment recorders feed the text reports and the
+   --json summary. *)
 let run_experiment ~quick id =
   line ("experiment " ^ id);
   match id with
-  | "catalog" -> catalog_table ()
+  | "catalog" ->
+    catalog_table ();
+    None
   | _ -> (
-    match Insp.Suite.run_by_id ~quick id with
-    | Some output -> print_string output
-    | None -> Printf.printf "unknown experiment: %s\n" id)
+    let t0 = Unix.gettimeofday () in
+    let out, recorder =
+      Insp.Obs.with_sink (fun () -> Insp.Suite.run_by_id ~quick id)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    match out with
+    | Some output ->
+      print_string output;
+      Printf.printf "\n-- observability (%s, %.2f s) --\n%s" id wall_s
+        (Insp.Obs_export.text_report recorder);
+      Some (id, wall_s, recorder)
+    | None ->
+      Printf.printf "unknown experiment: %s\n" id;
+      None)
+
+(* BENCH_insp.json: headline wall time and recorded counters/gauges per
+   experiment, for trend tracking across commits. *)
+let bench_json ~quick results =
+  let b = Buffer.create 4096 in
+  let esc s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"insp-bench-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"experiments\": [";
+  List.iteri
+    (fun i (id, wall_s, (recorder : Insp.Obs.t)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"id\": \"%s\", \"wall_s\": %.3f" (esc id)
+           wall_s);
+      let snapshot = Insp.Obs_metrics.snapshot recorder.Insp.Obs.metrics in
+      let fields kind select =
+        let entries = List.filter_map select snapshot in
+        if entries <> [] then begin
+          Buffer.add_string b (Printf.sprintf ",\n     \"%s\": {" kind);
+          List.iteri
+            (fun j (name, v) ->
+              if j > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b (Printf.sprintf "\"%s\": %s" (esc name) v))
+            entries;
+          Buffer.add_char b '}'
+        end
+      in
+      fields "counters" (function
+        | name, Insp.Obs_metrics.Counter_v c -> Some (name, string_of_int c)
+        | _ -> None);
+      fields "gauges" (function
+        | name, Insp.Obs_metrics.Gauge_v g ->
+          Some (name, Printf.sprintf "%.6g" g)
+        | _ -> None);
+      Buffer.add_string b "}")
+    results;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
 
 let summarize_rankings ~quick () =
   line "ranking summary (lowest mean cost per x point)";
@@ -318,11 +381,22 @@ let run_benchmarks () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args = split_json [] args in
   let ids = List.filter (fun a -> a <> "--quick") args in
   let ids =
     if ids = [] then Insp.Suite.all_ids @ [ "catalog" ] else ids
   in
-  List.iter (run_experiment ~quick) ids;
+  let results = List.filter_map (run_experiment ~quick) ids in
+  (match json_file with
+  | Some file ->
+    Insp.Obs_export.save file (bench_json ~quick results);
+    Printf.printf "\nwrote %s\n%!" file
+  | None -> ());
   if List.length ids > 1 then begin
     summarize_rankings ~quick ();
     run_ablations ~quick ()

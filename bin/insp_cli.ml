@@ -60,6 +60,48 @@ let make_instance n alpha sizes freq seed =
     (Insp.Config.make ~n_operators:n ~alpha ~sizes ~freq ~seed ())
 
 (* ------------------------------------------------------------------ *)
+(* Observability and exit codes                                        *)
+
+let trace_arg =
+  let doc =
+    "Write the run's span tree as Chrome trace_event JSON (open in \
+     chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write the run's counters, gauges and histograms as CSV." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let exit_infeasible = 1
+let exit_unknown_name = 2
+
+let exits =
+  Cmd.Exit.info exit_infeasible ~doc:"no feasible mapping was found."
+  :: Cmd.Exit.info exit_unknown_name
+       ~doc:"an unknown heuristic or experiment name was given."
+  :: Cmd.Exit.defaults
+
+(* Run [f] under a fresh observability sink when an export was requested;
+   otherwise the engines' instrumentation stays a no-op. *)
+let with_obs ~trace ~metrics f =
+  if trace = None && metrics = None then f ()
+  else begin
+    let code, recorder = Insp.Obs.with_sink f in
+    Option.iter
+      (fun path ->
+        Insp.Obs_export.save path (Insp.Obs_export.chrome_trace recorder);
+        Format.printf "wrote Chrome trace to %s@." path)
+      trace;
+    Option.iter
+      (fun path ->
+        Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
+        Format.printf "wrote metrics CSV to %s@." path)
+      metrics;
+    code
+  end
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
 let print_outcomes inst results verbose =
@@ -98,6 +140,38 @@ let print_outcomes inst results verbose =
       results;
   ignore inst
 
+(* With a sink installed, also drive the simulator and the LP relaxation
+   on the solved instance, so one `solve --trace/--metrics` run records
+   all three engines (heuristics, LP, simulator). *)
+let obs_diagnostics inst results =
+  let feasible =
+    List.filter_map
+      (fun (_, r) -> match r with Ok o -> Some o | Error _ -> None)
+      results
+  in
+  match feasible with
+  | [] -> ()
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun (b : Insp.Solve.outcome) o ->
+          if o.Insp.Solve.cost < b.Insp.Solve.cost then o else b)
+        first rest
+    in
+    ignore (Insp.simulate ~horizon:40.0 inst best.Insp.Solve.alloc);
+    if Insp.App.n_operators inst.Insp.Instance.app <= 30 then
+      Insp.Obs.span "lp.relaxation" (fun () ->
+          let homog =
+            Insp.Instance.homogeneous inst ~cpu_index:4 ~nic_index:3
+          in
+          let model =
+            Insp.Ilp_model.build homog.Insp.Instance.app
+              homog.Insp.Instance.platform
+              ~max_procs:best.Insp.Solve.n_procs
+          in
+          Option.iter (Insp.Obs.gauge "lp.relaxation.bound")
+            (Insp.Ilp_model.lower_bound model))
+
 let solve_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print allocations.")
@@ -108,7 +182,8 @@ let solve_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Write the operator tree as DOT.")
   in
-  let run n alpha sizes freq seed heuristic verbose dot =
+  let run n alpha sizes freq seed heuristic verbose dot trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let inst = make_instance n alpha sizes freq seed in
     Format.printf "%a@.@." Insp.Instance.pp inst;
     (match dot with
@@ -118,29 +193,37 @@ let solve_cmd =
     | None -> ());
     let results =
       if heuristic = "all" then
-        Insp.Solve.run_all ~seed inst.Insp.Instance.app
-          inst.Insp.Instance.platform
+        Some
+          (Insp.Solve.run_all ~seed inst.Insp.Instance.app
+             inst.Insp.Instance.platform)
       else
-        match Insp.Solve.find heuristic with
-        | None ->
-          prerr_endline ("unknown heuristic: " ^ heuristic);
-          exit 2
-        | Some h ->
-          [
-            ( h,
-              Insp.Solve.run ~seed h inst.Insp.Instance.app
-                inst.Insp.Instance.platform );
-          ]
+        Option.map
+          (fun h ->
+            [
+              ( h,
+                Insp.Solve.run ~seed h inst.Insp.Instance.app
+                  inst.Insp.Instance.platform );
+            ])
+          (Insp.Solve.find heuristic)
     in
-    print_outcomes inst results verbose
+    match results with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ heuristic);
+      exit_unknown_name
+    | Some results ->
+      print_outcomes inst results verbose;
+      if Insp.Obs.enabled () then obs_diagnostics inst results;
+      if List.exists (fun (_, r) -> Result.is_ok r) results then 0
+      else exit_infeasible
   in
   let term =
     Term.(
       const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
-      $ verbose $ dot)
+      $ verbose $ dot $ trace_arg $ metrics_arg)
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Run placement heuristics on a random instance.")
+    (Cmd.info "solve" ~exits
+       ~doc:"Run placement heuristics on a random instance.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -152,13 +235,14 @@ let simulate_cmd =
       value & opt float 80.0
       & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
   in
-  let run n alpha sizes freq seed heuristic horizon =
+  let run n alpha sizes freq seed heuristic horizon trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let inst = make_instance n alpha sizes freq seed in
     let key = if heuristic = "all" then "sbu" else heuristic in
     match Insp.Solve.find key with
     | None ->
       prerr_endline ("unknown heuristic: " ^ key);
-      exit 2
+      exit_unknown_name
     | Some h -> (
       match
         Insp.Solve.run ~seed h inst.Insp.Instance.app
@@ -166,22 +250,23 @@ let simulate_cmd =
       with
       | Error f ->
         prerr_endline (Insp.Solve.failure_message f);
-        exit 1
+        exit_infeasible
       | Ok o ->
         Format.printf "%s found %d processors for $%.0f@." h.name o.n_procs
           o.cost;
         let report = Insp.simulate ~horizon inst o.alloc in
         Format.printf "%a@." Insp.Runtime.pp_report report;
         Format.printf "sustains target: %b@."
-          (Insp.Runtime.sustains_target report))
+          (Insp.Runtime.sustains_target report);
+        0)
   in
   let term =
     Term.(
       const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
-      $ horizon)
+      $ horizon $ trace_arg $ metrics_arg)
   in
   Cmd.v
-    (Cmd.info "simulate"
+    (Cmd.info "simulate" ~exits
        ~doc:"Solve, then execute the mapping in the discrete-event runtime.")
     term
 
@@ -198,24 +283,31 @@ let sweep_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds and points.")
   in
-  let run experiment quick =
+  let run experiment quick seed trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let ids =
       if experiment = "all" then Insp.Suite.all_ids else [ experiment ]
     in
-    List.iter
-      (fun id ->
-        match Insp.Suite.run_by_id ~quick id with
-        | Some s ->
-          print_string s;
-          print_newline ()
-        | None ->
-          prerr_endline ("unknown experiment: " ^ id);
-          exit 2)
-      ids
+    List.fold_left
+      (fun code id ->
+        if code <> 0 then code
+        else
+          match Insp.Suite.run_by_id ~quick ~seed id with
+          | Some s ->
+            print_string s;
+            print_newline ();
+            0
+          | None ->
+            prerr_endline ("unknown experiment: " ^ id);
+            exit_unknown_name)
+      0 ids
   in
-  let term = Term.(const run $ experiment $ quick) in
+  let term =
+    Term.(const run $ experiment $ quick $ seed $ trace_arg $ metrics_arg)
+  in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Reproduce a paper experiment (table/figure).")
+    (Cmd.info "sweep" ~exits
+       ~doc:"Reproduce a paper experiment (table/figure).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -232,22 +324,28 @@ let exact_cmd =
       value & opt int 3
       & info [ "nic" ] ~docv:"IDX" ~doc:"Homogeneous NIC option (0-4).")
   in
-  let run n alpha seed cpu nic =
+  let run n alpha seed cpu nic trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let inst =
       Insp.Instance.homogeneous
         (make_instance n alpha Insp.Config.Small Insp.Config.High seed)
         ~cpu_index:cpu ~nic_index:nic
     in
-    (match
-       Insp.Exact.solve inst.Insp.Instance.app inst.Insp.Instance.platform
-     with
-    | Ok r ->
-      Format.printf
-        "exact optimum: %d processors, $%.0f (%s, %d nodes explored)@."
-        r.Insp.Exact.n_procs r.cost
-        (if r.proven then "proven" else "node limit hit")
-        r.nodes
-    | Error e -> Format.printf "exact: %s@." e);
+    let exact_code =
+      match
+        Insp.Exact.solve inst.Insp.Instance.app inst.Insp.Instance.platform
+      with
+      | Ok r ->
+        Format.printf
+          "exact optimum: %d processors, $%.0f (%s, %d nodes explored)@."
+          r.Insp.Exact.n_procs r.cost
+          (if r.proven then "proven" else "node limit hit")
+          r.nodes;
+        0
+      | Error e ->
+        Format.printf "exact: %s@." e;
+        exit_infeasible
+    in
     List.iter
       (fun ((h : Insp.Solve.heuristic), r) ->
         match r with
@@ -256,11 +354,16 @@ let exact_cmd =
         | Error f ->
           Format.printf "%-20s %s@." h.name (Insp.Solve.failure_message f))
       (Insp.Solve.run_all ~seed inst.Insp.Instance.app
-         inst.Insp.Instance.platform)
+         inst.Insp.Instance.platform);
+    exact_code
   in
-  let term = Term.(const run $ n_operators $ alpha $ seed $ cpu $ nic) in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ seed $ cpu $ nic $ trace_arg
+      $ metrics_arg)
+  in
   Cmd.v
-    (Cmd.info "exact"
+    (Cmd.info "exact" ~exits
        ~doc:
          "Exact branch-and-bound optimum on a homogeneous platform, compared \
           with the heuristics.")
@@ -288,7 +391,8 @@ let multi_cmd =
         Format.printf "%-12s %s@." name (Insp.Dag_place.failure_message f)
     in
     provision "no sharing" (Insp.Dag.of_apps apps);
-    provision "CSE sharing" (Insp.Cse.share_apps apps)
+    provision "CSE sharing" (Insp.Cse.share_apps apps);
+    0
   in
   let term = Term.(const run $ n_operators $ seed $ n_apps) in
   Cmd.v
@@ -340,11 +444,12 @@ let rewrite_cmd =
       Insp.Rewrite.optimize (Insp.Prng.create seed) ~evaluate ~restarts
         original
     in
-    match cost with
+    (match cost with
     | Some c ->
       Format.printf "%-12s height %-3d $%.0f@." "optimized"
         (Insp.Optree.height best) c
-    | None -> Format.printf "optimized    infeasible@."
+    | None -> Format.printf "optimized    infeasible@.");
+    0
   in
   let term = Term.(const run $ n_operators $ alpha $ seed $ restarts) in
   Cmd.v
@@ -358,10 +463,18 @@ let rewrite_cmd =
 (* catalog                                                             *)
 
 let catalog_cmd =
-  let run () = Format.printf "%a@." Insp.Catalog.pp Insp.Catalog.dell_2008 in
+  (* The catalog is a fixed table; --seed is accepted so every subcommand
+     takes it uniformly, and ignored. *)
+  let run _seed =
+    Format.printf "%a@." Insp.Catalog.pp Insp.Catalog.dell_2008;
+    0
+  in
   Cmd.v
-    (Cmd.info "catalog" ~doc:"Print the Table-1 processor purchase catalog.")
-    Term.(const run $ const ())
+    (Cmd.info "catalog"
+       ~doc:
+         "Print the Table-1 processor purchase catalog.  $(b,--seed) is \
+          accepted for interface uniformity and ignored.")
+    Term.(const run $ seed)
 
 let main =
   let doc = "resource allocation for constructive in-network stream processing" in
@@ -372,4 +485,4 @@ let main =
       catalog_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -61,6 +61,12 @@ module Exact = Insp_lp.Exact
 module Fair_share = Insp_sim.Fair_share
 module Runtime = Insp_sim.Runtime
 
+(* Observability *)
+module Obs = Insp_obs.Obs
+module Obs_metrics = Insp_obs.Metrics
+module Obs_span = Insp_obs.Span
+module Obs_export = Insp_obs.Export
+
 (* Multi-application extension (paper §6 future work) *)
 module Dag = Insp_multi.Dag
 module Cse = Insp_multi.Cse

@@ -68,6 +68,16 @@ module Exact = Insp_lp.Exact
 module Fair_share = Insp_sim.Fair_share
 module Runtime = Insp_sim.Runtime
 
+(** {1 Observability}
+
+    Deterministic tracing, metrics and profiling ({!Obs} is the guarded
+    facade; install a sink to start recording).  See DESIGN.md §10. *)
+
+module Obs = Insp_obs.Obs
+module Obs_metrics = Insp_obs.Metrics
+module Obs_span = Insp_obs.Span
+module Obs_export = Insp_obs.Export
+
 (** {1 Multi-application extension (paper §6 future work)} *)
 
 module Dag = Insp_multi.Dag

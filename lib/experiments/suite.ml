@@ -5,6 +5,7 @@ module Exact = Insp_lp.Exact
 module Cost = Insp_mapping.Cost
 module Runtime = Insp_sim.Runtime
 module Table = Insp_util.Table
+module Obs = Insp_obs.Obs
 
 let default_seeds = [ 1; 2; 3; 4; 5 ]
 
@@ -16,8 +17,9 @@ let cells_for ?(instance_of = Instance.generate) config ~seeds =
   let runs =
     List.map
       (fun seed ->
-        let inst = instance_of { config with Config.seed } in
-        Solve.run_all ~seed inst.Instance.app inst.Instance.platform)
+        Obs.span "sweep.seed" (fun () ->
+            let inst = instance_of { config with Config.seed } in
+            Solve.run_all ~seed inst.Instance.app inst.Instance.platform))
       seeds
   in
   List.map
@@ -39,10 +41,11 @@ let sweep_n ~id ~title ~seeds ~ns ~config_of =
   let points =
     List.map
       (fun n ->
-        {
-          Figure.x = float_of_int n;
-          cells = cells_for (config_of n) ~seeds;
-        })
+        Obs.span "sweep.point" (fun () ->
+            {
+              Figure.x = float_of_int n;
+              cells = cells_for (config_of n) ~seeds;
+            }))
       ns
   in
   {
@@ -354,9 +357,10 @@ let all_ids =
   [ "fig2a"; "fig2b"; "fig3"; "fig3-n20"; "large"; "lowfreq"; "rates";
     "ilp"; "sharing"; "rewrite"; "replication"; "simcheck" ]
 
-let run_by_id ?(quick = false) id =
-  let seeds = if quick then [ 1; 2 ] else default_seeds in
+let run_by_id ?(quick = false) ?(seed = 1) id =
+  let seeds = List.init (if quick then 2 else 5) (fun i -> seed + i) in
   let ns = if quick then [ 20; 60 ] else default_ns in
+  Obs.span ("experiment." ^ id) @@ fun () ->
   match id with
   | "fig2a" -> Some (Figure.render (fig2a ~seeds ~ns ()))
   | "fig2b" -> Some (Figure.render (fig2b ~seeds ~ns ()))
@@ -390,5 +394,6 @@ let run_by_id ?(quick = false) id =
     Some (Figure.render (Ablations.replication ~seeds ~copy_ranges ()))
   | "simcheck" ->
     let ns = if quick then [ 20 ] else [ 20; 60 ] in
-    Some (sim_validation ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ~ns ())
+    let seeds = List.init (if quick then 1 else 3) (fun i -> seed + i) in
+    Some (sim_validation ~seeds ~ns ())
   | _ -> None

@@ -4,6 +4,16 @@ module Catalog = Insp_platform.Catalog
 module Platform = Insp_platform.Platform
 module Demand = Insp_mapping.Demand
 module Ledger = Insp_mapping.Ledger
+module Obs = Insp_obs.Obs
+
+(* Every feasibility probe reports to the observability sink: a total
+   ("heur.probe") plus its outcome ("heur.probe.hit"/".miss"), so probe
+   complexity and ledger acceptance rates are visible per run
+   (DESIGN.md §10).  With no sink installed these are no-ops. *)
+let count_probe ok =
+  Obs.incr "heur.probe";
+  Obs.incr (if ok then "heur.probe.hit" else "heur.probe.miss");
+  ok
 
 type group_id = int
 
@@ -98,17 +108,23 @@ let candidate_flows t ~members ~ignore_groups =
 
 let can_host t ~config ~members ?(ignore_groups = []) () =
   let d = Demand.of_group t.app members in
-  Demand.fits config d && flows_ok t (candidate_flows t ~members ~ignore_groups)
+  count_probe
+    (Demand.fits config d
+    && flows_ok t (candidate_flows t ~members ~ignore_groups))
 
 let cheapest_hosting t ~members ?(ignore_groups = []) () =
   (* Demand and flows are config-independent: compute them once and scan
      the catalog with the cheap capacity test only. *)
   let d = Demand.of_group t.app members in
-  if not (flows_ok t (candidate_flows t ~members ~ignore_groups)) then None
-  else
-    List.find_opt
-      (fun cfg -> Demand.fits cfg d)
-      (Catalog.configs t.platform.Platform.catalog)
+  let found =
+    if not (flows_ok t (candidate_flows t ~members ~ignore_groups)) then None
+    else
+      List.find_opt
+        (fun cfg -> Demand.fits cfg d)
+        (Catalog.configs t.platform.Platform.catalog)
+  in
+  ignore (count_probe (found <> None));
+  found
 
 let acquire t ~config ~members =
   List.iter
@@ -124,8 +140,17 @@ let acquire t ~config ~members =
     let gid = Ledger.add_proc t.ledger config in
     List.iter (fun i -> Ledger.add_operator t.ledger gid i) members;
     t.order <- gid :: t.order;
+    Obs.incr "heur.acquire";
     Ok gid
   end
+
+let count_try_add ok =
+  Obs.incr (if ok then "heur.try_add.ok" else "heur.try_add.reject");
+  ok
+
+let count_absorb ok =
+  Obs.incr (if ok then "heur.absorb.ok" else "heur.absorb.reject");
+  ok
 
 let try_add t gid op =
   if Ledger.assignment t.ledger op <> None then
@@ -133,18 +158,20 @@ let try_add t gid op =
   check_live t gid;
   let probe = Ledger.probe_add t.ledger gid op in
   if
-    Demand.fits (Ledger.config t.ledger gid) probe.Ledger.demand
-    && flows_ok t probe.Ledger.pair_flows
+    count_probe
+      (Demand.fits (Ledger.config t.ledger gid) probe.Ledger.demand
+      && flows_ok t probe.Ledger.pair_flows)
   then begin
     Ledger.add_operator t.ledger gid op;
-    true
+    count_try_add true
   end
-  else false
+  else count_try_add false
 
 let sell t gid =
   check_live t gid;
   Ledger.remove_proc t.ledger gid;
-  t.order <- List.filter (fun id -> id <> gid) t.order
+  t.order <- List.filter (fun id -> id <> gid) t.order;
+  Obs.incr "heur.sell"
 
 let try_absorb t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb: same group";
@@ -152,21 +179,26 @@ let try_absorb t winner loser =
   check_live t loser;
   let probe = Ledger.probe_merge t.ledger ~winner ~loser in
   if
-    Demand.fits (Ledger.config t.ledger winner) probe.Ledger.demand
-    && flows_ok t probe.Ledger.pair_flows
+    count_probe
+      (Demand.fits (Ledger.config t.ledger winner) probe.Ledger.demand
+      && flows_ok t probe.Ledger.pair_flows)
   then begin
     Ledger.merge t.ledger ~winner ~loser;
     t.order <- List.filter (fun id -> id <> loser) t.order;
-    true
+    count_absorb true
   end
-  else false
+  else count_absorb false
 
 let cheapest_for t probe =
-  if not (flows_ok t probe.Ledger.pair_flows) then None
-  else
-    List.find_opt
-      (fun cfg -> Demand.fits cfg probe.Ledger.demand)
-      (Catalog.configs t.platform.Platform.catalog)
+  let found =
+    if not (flows_ok t probe.Ledger.pair_flows) then None
+    else
+      List.find_opt
+        (fun cfg -> Demand.fits cfg probe.Ledger.demand)
+        (Catalog.configs t.platform.Platform.catalog)
+  in
+  ignore (count_probe (found <> None));
+  found
 
 let try_add_upgrade t gid op =
   if Ledger.assignment t.ledger op <> None then
@@ -174,11 +206,11 @@ let try_add_upgrade t gid op =
   check_live t gid;
   let probe = Ledger.probe_add t.ledger gid op in
   match cheapest_for t probe with
-  | None -> false
+  | None -> count_try_add false
   | Some cfg ->
     Ledger.add_operator t.ledger gid op;
     Ledger.set_config t.ledger gid cfg;
-    true
+    count_try_add true
 
 let try_absorb_upgrade t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb_upgrade: same group";
@@ -186,12 +218,12 @@ let try_absorb_upgrade t winner loser =
   check_live t loser;
   let probe = Ledger.probe_merge t.ledger ~winner ~loser in
   match cheapest_for t probe with
-  | None -> false
+  | None -> count_absorb false
   | Some cfg ->
     Ledger.merge t.ledger ~winner ~loser;
     Ledger.set_config t.ledger winner cfg;
     t.order <- List.filter (fun id -> id <> loser) t.order;
-    true
+    count_absorb true
 
 let sell_if_empty t gid =
   if Ledger.mem_proc t.ledger gid && Ledger.operators_of t.ledger gid = []
@@ -215,5 +247,9 @@ let finalize t =
     let ids = group_ids t in
     let groups = Array.of_list (List.map (members t) ids) in
     let configs = Array.of_list (List.map (config t) ids) in
+    Array.iter
+      (fun g ->
+        Obs.observe "heur.group.size" (float_of_int (List.length g)))
+      groups;
     Ok (groups, configs)
   end

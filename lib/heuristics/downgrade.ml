@@ -3,6 +3,7 @@ module Platform = Insp_platform.Platform
 module Alloc = Insp_mapping.Alloc
 module Check = Insp_mapping.Check
 module Demand = Insp_mapping.Demand
+module Obs = Insp_obs.Obs
 
 let run app platform alloc =
   let catalog = platform.Platform.catalog in
@@ -10,6 +11,7 @@ let run app platform alloc =
   let rec shrink alloc u =
     if u >= n then alloc
     else begin
+      Obs.incr "heur.downgrade.step";
       let d = Check.proc_demand app alloc u in
       let nic_load =
         Check.proc_download_rate app alloc u
@@ -20,8 +22,13 @@ let run app platform alloc =
           Catalog.cheapest_satisfying catalog ~speed:d.Demand.compute
             ~bandwidth:nic_load
         with
-        | Some config -> Alloc.with_config alloc u config
-        | None -> alloc (* keep the provisioned config; checker will flag *)
+        | Some config ->
+          Obs.incr "heur.downgrade.fitted";
+          Alloc.with_config alloc u config
+        | None ->
+          (* keep the provisioned config; checker will flag *)
+          Obs.incr "heur.downgrade.stuck";
+          alloc
       in
       shrink alloc (u + 1)
     end

@@ -4,6 +4,7 @@ module Alloc = Insp_mapping.Alloc
 module Check = Insp_mapping.Check
 module Cost = Insp_mapping.Cost
 module Prng = Insp_util.Prng
+module Obs = Insp_obs.Obs
 
 type heuristic = {
   name : string;
@@ -67,32 +68,44 @@ let failure_message = function
   | Validation m -> "validation failed: " ^ m
 
 let run ?(seed = 0) heuristic app platform =
-  let rng = Prng.create seed in
-  match heuristic.run rng app platform with
-  | Error msg -> Error (Placement msg)
-  | Ok builder -> (
-    match Builder.finalize builder with
-    | Error msg -> Error (Placement msg)
-    | Ok (groups, configs) -> (
-      let selection =
-        if heuristic.randomized then
-          Server_select.random rng app platform ~groups
-        else Server_select.sophisticated app platform ~groups
-      in
-      match selection with
-      | Error msg -> Error (Server_selection msg)
-      | Ok downloads -> (
-        let alloc = Alloc.of_groups ~configs ~groups ~downloads in
-        let alloc = Downgrade.run app platform alloc in
-        match Check.check app platform alloc with
-        | [] ->
-          Ok
-            {
-              alloc;
-              cost = Cost.of_alloc platform.Platform.catalog alloc;
-              n_procs = Alloc.n_procs alloc;
-            }
-        | violations -> Error (Validation (Check.explain violations)))))
+  (* One span per pipeline stage; the counter pair records the overall
+     outcome so sweep-level failure rates show up in metric exports. *)
+  let count result =
+    Obs.incr
+      (match result with Ok _ -> "heur.solve.ok" | Error _ -> "heur.solve.fail");
+    result
+  in
+  Obs.span ("solve." ^ heuristic.key) (fun () ->
+      let rng = Prng.create seed in
+      match Obs.span "placement" (fun () -> heuristic.run rng app platform) with
+      | Error msg -> count (Error (Placement msg))
+      | Ok builder -> (
+        match Builder.finalize builder with
+        | Error msg -> count (Error (Placement msg))
+        | Ok (groups, configs) -> (
+          let selection =
+            Obs.span "server_select" (fun () ->
+                if heuristic.randomized then
+                  Server_select.random rng app platform ~groups
+                else Server_select.sophisticated app platform ~groups)
+          in
+          match selection with
+          | Error msg -> count (Error (Server_selection msg))
+          | Ok downloads -> (
+            let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+            let alloc =
+              Obs.span "downgrade" (fun () -> Downgrade.run app platform alloc)
+            in
+            match Obs.span "check" (fun () -> Check.check app platform alloc) with
+            | [] ->
+              count
+                (Ok
+                   {
+                     alloc;
+                     cost = Cost.of_alloc platform.Platform.catalog alloc;
+                     n_procs = Alloc.n_procs alloc;
+                   })
+            | violations -> count (Error (Validation (Check.explain violations)))))))
 
 let run_all ?(seed = 0) app platform =
   List.map (fun h -> (h, run ~seed h app platform)) all

@@ -23,7 +23,9 @@ let of_string s =
 let synopsis = function
   | D1 -> "Stdlib.Random is nondeterministic; use the seeded Insp_util.Prng"
   | D2 -> "Hashtbl iteration order is arbitrary; sort results built from it"
-  | D3 -> "wall-clock reads are nondeterministic; timing belongs in bench/"
+  | D3 ->
+    "wall-clock reads are nondeterministic; timing belongs in bench/ or the \
+     blessed Insp_obs.Clock"
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"

@@ -7,6 +7,7 @@ module Check = Insp_mapping.Check
 module Cost = Insp_mapping.Cost
 module Demand = Insp_mapping.Demand
 module Server_select = Insp_heuristics.Server_select
+module Obs = Insp_obs.Obs
 
 type result = {
   n_procs : int;
@@ -87,6 +88,8 @@ let solve ?(node_limit = 2_000_000) ?max_groups app platform =
           match !best with
           | Some b when b.cost <= cost -> ()
           | _ ->
+            Obs.mark "lp.exact.incumbent";
+            Obs.gauge "lp.exact.incumbent" (float_of_int n_used);
             best :=
               Some
                 {
@@ -105,12 +108,14 @@ let solve ?(node_limit = 2_000_000) ?max_groups app platform =
       if !nodes >= node_limit then truncated := true
       else begin
         incr nodes;
+        Obs.incr "lp.exact.node";
         if pos = n then try_complete n_used
         else begin
           let bound = n_used + max 0 (ceil_div remaining.(pos) speed - n_used) in
           (* bound = processors already open plus at least enough for the
              remaining work; conservative but cheap. *)
-          if bound < best_procs () then begin
+          if bound >= best_procs () then Obs.incr "lp.exact.pruned"
+          else begin
             let op = order.(pos) in
             (* Existing groups first, then (canonically) one new group. *)
             for gid = 0 to n_used - 1 do

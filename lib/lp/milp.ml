@@ -1,3 +1,5 @@
+module Obs = Insp_obs.Obs
+
 type t = {
   problem : Simplex.problem;
   integer_vars : int list;
@@ -42,11 +44,12 @@ let solve ?(node_limit = 100_000) t =
     if !nodes >= node_limit then truncated := true
     else begin
       incr nodes;
+      Obs.incr "lp.bb.node";
       let problem =
         { t.problem with Simplex.constraints = t.problem.constraints @ extra }
       in
       match Simplex.solve problem with
-      | Simplex.Infeasible -> ()
+      | Simplex.Infeasible -> Obs.incr "lp.bb.pruned.infeasible"
       | Simplex.Unbounded ->
         (* An unbounded relaxation cannot be pruned; treat as truncation
            (only happens on degenerate inputs). *)
@@ -58,9 +61,13 @@ let solve ?(node_limit = 100_000) t =
             not (better sol.objective_value b.Simplex.objective_value)
           | None -> false
         in
-        if not dominated then
+        if dominated then Obs.incr "lp.bb.pruned.bound"
+        else
           match fractional_var t sol with
-          | None -> best := Some sol
+          | None ->
+            best := Some sol;
+            Obs.mark "lp.bb.incumbent";
+            Obs.gauge "lp.bb.incumbent" sol.objective_value
           | Some j ->
             let v = sol.values.(j) in
             let lo = Float.floor v in
@@ -83,6 +90,7 @@ let solve ?(node_limit = 100_000) t =
       | Some b -> b
       | None -> if maximize then neg_infinity else infinity)
   in
+  Obs.gauge "lp.bb.bound" bound;
   {
     solution = !best;
     bound;

@@ -1,3 +1,5 @@
+module Obs = Insp_obs.Obs
+
 type relation = Le | Eq | Ge
 
 type constr = { coeffs : float array; relation : relation; bound : float }
@@ -24,6 +26,7 @@ type tableau = {
 }
 
 let pivot t ~row ~col =
+  Obs.incr "lp.simplex.pivot";
   let piv = t.a.(row).(col) in
   let r = t.a.(row) in
   for j = 0 to t.cols do
@@ -83,6 +86,7 @@ let rec iterate ?(allowed = fun _ -> true) t =
   end
 
 let solve problem =
+  Obs.incr "lp.simplex.solve";
   let n = Array.length problem.objective in
   List.iter
     (fun c ->

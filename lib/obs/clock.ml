@@ -1,0 +1,19 @@
+(* The single blessed time source of the observability layer
+   (DESIGN.md §10).  Every wall-clock read in lib/ lives in this file —
+   lint rule D3 sanctions exactly bench/ and lib/obs/clock.ml — so the
+   determinism story stays auditable: timestamps flow only into span
+   [start]/[dur] fields, which the contract marks timing-only.
+
+   [Unix.gettimeofday] is not monotonic under clock steps (NTP), so
+   readings are clamped to be non-decreasing; all consumers get elapsed
+   microseconds since the first read of the process. *)
+
+let t0 = Unix.gettimeofday ()
+let last = ref 0.0
+
+let elapsed_us () =
+  let t = (Unix.gettimeofday () -. t0) *. 1e6 in
+  if t > !last then last := t;
+  !last
+
+let elapsed_s () = elapsed_us () /. 1e6

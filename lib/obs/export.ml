@@ -1,0 +1,197 @@
+(* Exporters over a filled sink: human-readable text report, metrics
+   CSV, and Chrome trace_event JSON (load in chrome://tracing or
+   https://ui.perfetto.dev).  The text and CSV forms order everything by
+   registry insertion / span completion, so deterministic work exports
+   deterministic values; durations and timestamps are timing-only
+   (DESIGN.md §10). *)
+
+let fmt_float v = Printf.sprintf "%.6g" v
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let metrics_csv_header = "kind,name,value"
+
+(* One row per counter and gauge; histograms expand to one row per
+   bucket (name.le.EDGE / name.overflow) plus name.count and name.sum. *)
+let metrics_csv (o : Obs.t) =
+  let buf = Buffer.create 1024 in
+  let row kind name value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%s,%s\n" kind (csv_escape name) value)
+  in
+  Buffer.add_string buf (metrics_csv_header ^ "\n");
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter_v c -> row "counter" name (string_of_int c)
+      | Metrics.Gauge_v g -> row "gauge" name (fmt_float g)
+      | Metrics.Histogram_v h ->
+        Array.iteri
+          (fun i count ->
+            let bucket =
+              if i < Array.length h.Metrics.edges then
+                Printf.sprintf "%s.le.%s" name (fmt_float h.Metrics.edges.(i))
+              else name ^ ".overflow"
+            in
+            row "histogram" bucket (string_of_int count))
+          h.Metrics.counts;
+        row "histogram" (name ^ ".count") (string_of_int h.Metrics.observations);
+        row "histogram" (name ^ ".sum") (fmt_float h.Metrics.sum))
+    (Metrics.snapshot o.Obs.metrics);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Text report                                                         *)
+
+let text_report (o : Obs.t) =
+  let buf = Buffer.create 1024 in
+  let spans = Span.aggregate o.Obs.spans in
+  if spans <> [] then begin
+    Buffer.add_string buf "-- spans (count, total ms) --\n";
+    List.iter
+      (fun s ->
+        let indent = String.make (2 * (s.Span.s_depth - 1)) ' ' in
+        let leaf =
+          match List.rev (String.split_on_char '/' s.Span.s_path) with
+          | leaf :: _ -> leaf
+          | [] -> s.Span.s_path
+        in
+        if s.Span.s_is_mark then
+          Buffer.add_string buf
+            (Printf.sprintf "%s@%-24s x%d\n" indent leaf s.Span.s_count)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-25s x%-6d %10.2f ms\n" indent leaf
+               s.Span.s_count (s.Span.s_total_us /. 1e3)))
+      spans
+  end;
+  let metrics = Metrics.snapshot o.Obs.metrics in
+  let section title keep render =
+    let rows = List.filter_map keep metrics in
+    if rows <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "-- %s --\n" title);
+      List.iter (fun r -> Buffer.add_string buf (render r)) rows
+    end
+  in
+  section "counters"
+    (fun (n, v) ->
+      match v with Metrics.Counter_v c -> Some (n, c) | _ -> None)
+    (fun (n, c) -> Printf.sprintf "%-32s %12d\n" n c);
+  section "gauges"
+    (fun (n, v) -> match v with Metrics.Gauge_v g -> Some (n, g) | _ -> None)
+    (fun (n, g) -> Printf.sprintf "%-32s %12s\n" n (fmt_float g));
+  section "histograms"
+    (fun (n, v) ->
+      match v with Metrics.Histogram_v h -> Some (n, h) | _ -> None)
+    (fun (n, h) ->
+      let cells =
+        Array.to_list
+          (Array.mapi
+             (fun i count ->
+               if i < Array.length h.Metrics.edges then
+                 Printf.sprintf "<=%s:%d" (fmt_float h.Metrics.edges.(i)) count
+               else Printf.sprintf ">:%d" count)
+             h.Metrics.counts)
+      in
+      Printf.sprintf "%-32s n=%d [%s]\n" n h.Metrics.observations
+        (String.concat " " cells));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                             *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_ts v = Printf.sprintf "%.3f" v
+
+(* The JSON Array Format of the trace_event spec: one "X" (complete)
+   event per span, one "i" (instant) event per mark, and a final "C"
+   (counter) event per counter so headline totals show up as tracks. *)
+let chrome_trace (o : Obs.t) =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event fields =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf ("  {" ^ String.concat "," fields ^ "}")
+  in
+  let str k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let num k v = Printf.sprintf "\"%s\":%s" k v in
+  Buffer.add_string buf "[\n";
+  event
+    [
+      str "name" "process_name"; str "ph" "M"; num "pid" "0"; num "tid" "0";
+      num "ts" "0"; "\"args\":{\"name\":\"insp\"}";
+    ];
+  let end_ts = ref 0.0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span.Span { name; path; start_us; dur_us; _ } ->
+        if start_us +. dur_us > !end_ts then end_ts := start_us +. dur_us;
+        event
+          [
+            str "name" name; str "cat" "span"; str "ph" "X";
+            num "ts" (json_ts start_us); num "dur" (json_ts dur_us);
+            num "pid" "0"; num "tid" "0";
+            Printf.sprintf "\"args\":{\"path\":\"%s\"}" (json_escape path);
+          ]
+      | Span.Mark { name; path; ts_us; _ } ->
+        if ts_us > !end_ts then end_ts := ts_us;
+        event
+          [
+            str "name" name; str "cat" "mark"; str "ph" "i";
+            num "ts" (json_ts ts_us); num "pid" "0"; num "tid" "0";
+            str "s" "t";
+            Printf.sprintf "\"args\":{\"path\":\"%s\"}" (json_escape path);
+          ])
+    (Span.events o.Obs.spans);
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter_v c ->
+        event
+          [
+            str "name" name; str "cat" "counter"; str "ph" "C";
+            num "ts" (json_ts !end_ts); num "pid" "0";
+            Printf.sprintf "\"args\":{\"value\":%d}" c;
+          ]
+      | Metrics.Gauge_v _ | Metrics.Histogram_v _ -> ())
+    (Metrics.snapshot o.Obs.metrics);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let save path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,25 @@
+(** Exporters over a filled {!Obs.t} sink (DESIGN.md §10).
+
+    Text and CSV order everything by registry insertion / span
+    completion, so deterministic instrumented work yields deterministic
+    recorded values; durations and timestamps are timing-only. *)
+
+val metrics_csv_header : string
+(** ["kind,name,value"]. *)
+
+val metrics_csv : Obs.t -> string
+(** One row per counter and gauge; histograms expand to one row per
+    bucket ([name.le.EDGE], [name.overflow]) plus [name.count] and
+    [name.sum]. *)
+
+val text_report : Obs.t -> string
+(** Aggregated span tree (count + total ms per path) followed by
+    counters, gauges and histograms.  Empty sections are omitted. *)
+
+val chrome_trace : Obs.t -> string
+(** Chrome [trace_event] JSON Array Format: one ["X"] complete event
+    per span, one ["i"] instant event per mark, one final ["C"] counter
+    event per counter.  Load in [chrome://tracing] or Perfetto. *)
+
+val save : string -> string -> unit
+(** [save path contents] writes [contents] to [path]. *)

@@ -1,0 +1,54 @@
+(* Instrumentation facade: a global-but-swappable sink (DESIGN.md §10).
+
+   Call sites in the engines use the guarded entry points below
+   unconditionally; with no sink installed each call is one ref read and
+   a match — cheap enough for hot loops (feasibility probes, simplex
+   pivots, simulator events).  Installing a sink turns the same calls
+   into registry updates.  The sink is deliberately process-global: the
+   engines thread no handle, so instrumentation never changes an API. *)
+
+type t = { metrics : Metrics.t; spans : Span.t }
+
+let create () = { metrics = Metrics.create (); spans = Span.create () }
+
+let sink : t option ref = ref None
+
+let install s = sink := Some s
+let uninstall () = sink := None
+let active () = !sink
+let enabled () = Option.is_some !sink
+
+let with_sink f =
+  let s = create () in
+  install s;
+  let result = Fun.protect ~finally:uninstall f in
+  (result, s)
+
+(* --- guarded instrumentation entry points --- *)
+
+let incr ?by name =
+  match !sink with None -> () | Some s -> Metrics.incr ?by s.metrics name
+
+let add name by = incr ~by name
+
+let gauge name v =
+  match !sink with None -> () | Some s -> Metrics.set_gauge s.metrics name v
+
+let observe ?edges name v =
+  match !sink with
+  | None -> ()
+  | Some s -> Metrics.observe ?edges s.metrics name v
+
+let mark name =
+  match !sink with
+  | None -> ()
+  | Some s -> Span.mark s.spans name (Clock.elapsed_us ())
+
+let span name f =
+  match !sink with
+  | None -> f ()
+  | Some s ->
+    Span.enter s.spans name (Clock.elapsed_us ());
+    (* Close over the entered recorder, not the global ref: [f] may
+       swap the sink, and enter/exit must stay balanced regardless. *)
+    Fun.protect ~finally:(fun () -> Span.exit s.spans (Clock.elapsed_us ())) f

@@ -1,0 +1,44 @@
+(** Instrumentation facade over a global-but-swappable sink
+    (DESIGN.md §10).
+
+    The engines call the guarded entry points ([incr], [span], …)
+    unconditionally.  With no sink installed every call is a no-op
+    costing one ref read; [install] (or [with_sink]) makes the same
+    calls record into a {!Metrics} registry and a {!Span} recorder.
+
+    Determinism contract: recorded {e values} (counters, gauges,
+    histogram counts, span paths and order) are deterministic for a
+    deterministic computation; span {e durations} and mark timestamps
+    are timing-only and must never feed back into results. *)
+
+type t = { metrics : Metrics.t; spans : Span.t }
+
+val create : unit -> t
+
+val install : t -> unit
+(** Make [t] the process-global sink. *)
+
+val uninstall : unit -> unit
+
+val active : unit -> t option
+
+val enabled : unit -> bool
+
+val with_sink : (unit -> 'a) -> 'a * t
+(** Run [f] with a fresh sink installed, uninstalling afterwards (also
+    on exceptions); returns [f]'s result and the filled sink. *)
+
+(** {1 Guarded entry points} — no-ops when no sink is installed. *)
+
+val incr : ?by:int -> string -> unit
+val add : string -> int -> unit
+(** [add name n] = [incr ~by:n name]. *)
+
+val gauge : string -> float -> unit
+val observe : ?edges:float array -> string -> float -> unit
+
+val mark : string -> unit
+(** Record an instant event under the current span path. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span; exception-safe. *)

@@ -1,0 +1,100 @@
+(* Hierarchical span recorder.  The recorded *structure* — paths,
+   nesting depth, completion order, marks — is deterministic for a
+   deterministic computation; only the [start_us]/[dur_us]/[ts_us]
+   timestamps (fed by Clock) are timing-only (DESIGN.md §10).
+
+   Spans are recorded on exit, so children precede their parent in the
+   event list; Chrome's trace viewer reconstructs nesting from the
+   timestamps, and [aggregate] groups by full path. *)
+
+type event =
+  | Span of {
+      name : string;
+      path : string;
+      depth : int;  (* 1 = top-level *)
+      start_us : float;
+      dur_us : float;
+    }
+  | Mark of { name : string; path : string; depth : int; ts_us : float }
+
+type t = {
+  mutable stack : (string * float) list;  (* open spans: name, start *)
+  mutable events : event list;  (* completion order, reversed *)
+}
+
+let create () = { stack = []; events = [] }
+
+let path_of stack = String.concat "/" (List.rev_map fst stack)
+
+let enter t name start_us = t.stack <- (name, start_us) :: t.stack
+
+let exit t end_us =
+  match t.stack with
+  | [] -> ()  (* unbalanced exit: drop rather than raise mid-unwind *)
+  | (name, start_us) :: rest ->
+    let path = path_of t.stack in
+    let depth = List.length t.stack in
+    t.stack <- rest;
+    t.events <-
+      Span { name; path; depth; start_us; dur_us = end_us -. start_us }
+      :: t.events
+
+let mark t name ts_us =
+  let path = path_of ((name, ts_us) :: t.stack) in
+  let depth = List.length t.stack + 1 in
+  t.events <- Mark { name; path; depth; ts_us } :: t.events
+
+let events t = List.rev t.events
+
+let open_depth t = List.length t.stack
+
+(* Deterministic projection: (path, depth) per event in completion
+   order, timestamps stripped. *)
+let paths t =
+  List.rev_map
+    (function
+      | Span { path; depth; _ } -> (path, depth)
+      | Mark { path; depth; _ } -> (path, depth))
+    t.events
+
+type summary = {
+  s_path : string;
+  s_depth : int;
+  s_count : int;
+  s_total_us : float;
+  s_is_mark : bool;
+}
+
+(* Group events by path, keeping first-appearance order (in completion
+   order).  Counts and paths are deterministic; totals are timing. *)
+let aggregate t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      let path, depth, dur, is_mark =
+        match ev with
+        | Span { path; depth; dur_us; _ } -> (path, depth, dur_us, false)
+        | Mark { path; depth; _ } -> (path, depth, 0.0, true)
+      in
+      match Hashtbl.find_opt tbl path with
+      | Some s ->
+        Hashtbl.replace tbl path
+          { s with s_count = s.s_count + 1; s_total_us = s.s_total_us +. dur }
+      | None ->
+        order := path :: !order;
+        Hashtbl.replace tbl path
+          {
+            s_path = path;
+            s_depth = depth;
+            s_count = 1;
+            s_total_us = dur;
+            s_is_mark = is_mark;
+          })
+    (events t);
+  List.rev_map
+    (fun path ->
+      match Hashtbl.find_opt tbl path with
+      | Some s -> s
+      | None -> assert false (* order only lists inserted paths *))
+    !order

@@ -1,0 +1,52 @@
+(** Hierarchical span recorder (DESIGN.md §10).
+
+    [enter]/[exit] bracket a named region; nested regions form a path
+    joined with ["/"].  [mark] records an instantaneous event under the
+    current path.  The recorded structure — paths, depths, completion
+    order — is deterministic for deterministic instrumented work; only
+    the timestamps are timing-only.  Spans are appended on [exit], so
+    children precede their parents in [events]. *)
+
+type event =
+  | Span of {
+      name : string;
+      path : string;  (** slash-joined ancestry including [name] *)
+      depth : int;  (** 1 = top-level *)
+      start_us : float;
+      dur_us : float;
+    }
+  | Mark of { name : string; path : string; depth : int; ts_us : float }
+
+type t
+
+val create : unit -> t
+
+val enter : t -> string -> float -> unit
+(** [enter t name start_us] opens a span. *)
+
+val exit : t -> float -> unit
+(** Close the innermost open span; a no-op when none is open. *)
+
+val mark : t -> string -> float -> unit
+(** Record an instant event as a child of the current span. *)
+
+val events : t -> event list
+(** Completed spans and marks in completion order. *)
+
+val open_depth : t -> int
+(** Number of currently open spans. *)
+
+val paths : t -> (string * int) list
+(** Deterministic projection of [events]: (path, depth) with all
+    timestamps stripped. *)
+
+type summary = {
+  s_path : string;
+  s_depth : int;
+  s_count : int;
+  s_total_us : float;  (** timing-only *)
+  s_is_mark : bool;
+}
+
+val aggregate : t -> summary list
+(** Events grouped by path, in first-completion order. *)

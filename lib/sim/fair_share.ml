@@ -1,4 +1,5 @@
 let compute ~caps ~membership =
+  Insp_obs.Obs.incr "sim.fair_share.call";
   let n_flows = Array.length membership in
   let n_caps = Array.length caps in
   Array.iter
@@ -26,7 +27,9 @@ let compute ~caps ~membership =
       membership
   in
   let n_frozen = ref 0 in
+  let rounds = ref 0 in
   while !n_frozen < n_flows do
+    incr rounds;
     recount ();
     (* Bottleneck constraint: smallest fair share among its unfrozen
        flows. *)
@@ -59,6 +62,7 @@ let compute ~caps ~membership =
         end)
       membership
   done;
+  Insp_obs.Obs.add "sim.fair_share.round" !rounds;
   rates
 
 let tolerance = 1e-6

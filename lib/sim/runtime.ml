@@ -5,6 +5,7 @@ module Platform = Insp_platform.Platform
 module Servers = Insp_platform.Servers
 module Alloc = Insp_mapping.Alloc
 module Heap = Insp_util.Heap
+module Obs = Insp_obs.Obs
 
 type report = {
   sim_time : float;
@@ -42,7 +43,7 @@ type event =
 
 let epsilon = 1e-9
 
-let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
+let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   (* The pipeline needs enough results in flight to cover its depth in
      processor hops, otherwise the work-ahead bound (not a resource)
      throttles throughput. *)
@@ -82,8 +83,15 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let events = Heap.create () in
   let n_events = ref 0 in
   let download_delivered = ref 0.0 in
+  (* Hot-loop instrumentation goes through local refs and is flushed to
+     the observability sink once per run, so the event loop never pays
+     more than integer increments. *)
+  let n_recomputes = ref 0 in
+  let n_flows_started = ref 0 in
+  let n_flows_completed = ref 0 in
   (* Fair-share recomputation over the active flows. *)
   let recompute_rates () =
+    incr n_recomputes;
     let fl = Array.of_list !flows in
     if Array.length fl = 0 then rates := []
     else begin
@@ -176,6 +184,7 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
     match Optree.parent tree op with
     | Some p when proc_of.(p) <> proc_of.(op) ->
       let size = App.output_size app op in
+      incr n_flows_started;
       flows :=
         {
           kind = Message { child = op };
@@ -199,6 +208,7 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
       let slot = child_slot p child in
       arrived.(p).(slot) <- arrived.(p).(slot) + 1
     | Download _ -> ());
+    incr n_flows_completed;
     flows := List.filter (fun g -> g != f) !flows
   in
   (* Seed periodic downloads. *)
@@ -249,6 +259,7 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
       | Some (_, Download_due { proc; object_type; server }) ->
         let size = Insp_tree.Objects.size (App.objects app) object_type in
         let freq = Insp_tree.Objects.freq (App.objects app) object_type in
+        incr n_flows_started;
         flows :=
           {
             kind = Download { proc; object_type };
@@ -276,16 +287,36 @@ let run ?window ?(horizon = 80.0) ?warmup app platform alloc =
       0.0
       (Alloc.all_downloads alloc)
   in
-  {
-    sim_time = horizon;
-    results_completed = List.length completions;
-    achieved_throughput = achieved;
-    target_throughput = App.rho app;
-    proc_busy = Array.map (fun b -> Float.min 1.0 (b /. horizon)) busy_until_accum;
-    download_delivered = !download_delivered;
-    download_ideal = ideal;
-    events = !n_events;
-  }
+  let report =
+    {
+      sim_time = horizon;
+      results_completed = List.length completions;
+      achieved_throughput = achieved;
+      target_throughput = App.rho app;
+      proc_busy =
+        Array.map (fun b -> Float.min 1.0 (b /. horizon)) busy_until_accum;
+      download_delivered = !download_delivered;
+      download_ideal = ideal;
+      events = !n_events;
+    }
+  in
+  Obs.add "sim.event" !n_events;
+  Obs.add "sim.rate_recompute" !n_recomputes;
+  Obs.add "sim.flow.started" !n_flows_started;
+  Obs.add "sim.flow.completed" !n_flows_completed;
+  Obs.add "sim.result" report.results_completed;
+  Obs.gauge "sim.throughput.achieved" report.achieved_throughput;
+  let busy = report.proc_busy in
+  if Array.length busy > 0 then begin
+    Obs.gauge "sim.busy.max" (Array.fold_left Float.max 0.0 busy);
+    Obs.gauge "sim.busy.mean"
+      (Array.fold_left ( +. ) 0.0 busy /. float_of_int (Array.length busy))
+  end;
+  report
+
+let run ?window ?horizon ?warmup app platform alloc =
+  Obs.span "sim.run" (fun () ->
+      run_impl ?window ?horizon ?warmup app platform alloc)
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -127,19 +127,33 @@ let test_d3_positive () =
   check_reports "D3 fires in lib"
     [
       "lib/fixture.ml:1:9: [D3] wall-clock read Sys.time is \
-       nondeterministic; timing belongs in bench/";
+       nondeterministic; timing belongs in bench/ or the blessed \
+       Insp_obs.Clock";
     ]
     (lint d3_src);
   check_reports "D3 fires on Unix.gettimeofday in test scope"
     [
       "test/fixture.ml:1:9: [D3] wall-clock read Unix.gettimeofday is \
-       nondeterministic; timing belongs in bench/";
+       nondeterministic; timing belongs in bench/ or the blessed \
+       Insp_obs.Clock";
     ]
     (lint ~file:"test/fixture.ml" {|let t0 = Unix.gettimeofday ()
-|})
+|});
+  (* The clock sanction is a single file, not the whole obs library:
+     a wall-clock read in any sibling module still fires. *)
+  check_reports "D3 still fires under lib/obs outside the clock module"
+    [
+      "lib/obs/metrics.ml:1:9: [D3] wall-clock read Sys.time is \
+       nondeterministic; timing belongs in bench/ or the blessed \
+       Insp_obs.Clock";
+    ]
+    (lint ~file:"lib/obs/metrics.ml" d3_src)
 
 let test_d3_negative () =
-  check_reports "bench is exempt" [] (lint ~file:"bench/fixture.ml" d3_src)
+  check_reports "bench is exempt" [] (lint ~file:"bench/fixture.ml" d3_src);
+  check_reports "the blessed obs clock module is exempt" []
+    (lint ~file:"lib/obs/clock.ml" {|let now () = Unix.gettimeofday ()
+|})
 
 let test_d3_suppressed () =
   check_reports "attribute on the binding" []

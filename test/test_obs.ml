@@ -1,0 +1,380 @@
+(* Tests for the insp_obs observability layer: registry determinism
+   under interleaved spans, histogram bucket edges, exporter
+   well-formedness (Chrome trace JSON, metrics CSV), and a counter
+   regression pinning the solver's feasibility-probe count. *)
+
+module Obs = Insp.Obs
+module Metrics = Insp.Obs_metrics
+module Span = Insp.Obs_span
+module Export = Insp.Obs_export
+
+(* A deterministic instrumented workload mixing nested spans, marks,
+   counters, gauges and histograms. *)
+let workload () =
+  Obs.span "outer" (fun () ->
+      for i = 1 to 5 do
+        Obs.incr "n";
+        Obs.span "inner" (fun () ->
+            Obs.observe "h" (float_of_int (3 * i));
+            Obs.mark "tick")
+      done;
+      Obs.span "tail" (fun () -> Obs.incr ~by:4 "n"));
+  Obs.gauge "g" 2.5
+
+(* ------------------------------------------------------------------ *)
+(* Facade guarding                                                     *)
+
+let test_disabled_noop () =
+  Alcotest.(check bool) "no sink" false (Obs.enabled ());
+  (* With no sink installed the guarded calls must be inert no-ops. *)
+  Obs.incr "x";
+  Obs.gauge "y" 1.0;
+  Obs.observe "z" 2.0;
+  Obs.mark "m";
+  Alcotest.(check int) "span passes through" 7 (Obs.span "s" (fun () -> 7));
+  Alcotest.(check bool) "still no sink" false (Obs.enabled ())
+
+let test_with_sink_restores () =
+  let value, r = Obs.with_sink (fun () -> Obs.incr "c"; 11) in
+  Alcotest.(check int) "result" 11 value;
+  Alcotest.(check (option int)) "recorded" (Some 1)
+    (Metrics.counter r.Obs.metrics "c");
+  Alcotest.(check bool) "uninstalled after" false (Obs.enabled ())
+
+let test_span_exception_safe () =
+  let value, r =
+    Obs.with_sink (fun () ->
+        try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> 42)
+  in
+  Alcotest.(check int) "exception propagated" 42 value;
+  Alcotest.(check int) "span closed" 0 (Span.open_depth r.Obs.spans);
+  Alcotest.(check (list (pair string int)))
+    "span recorded" [ ("boom", 1) ] (Span.paths r.Obs.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Registry determinism                                                *)
+
+let test_registry_deterministic () =
+  let (), a = Obs.with_sink workload in
+  let (), b = Obs.with_sink workload in
+  (* Recorded values and structure are byte-identical across runs; only
+     timestamps (not exported by metrics_csv/paths) may differ. *)
+  Alcotest.(check string) "identical CSV" (Export.metrics_csv a)
+    (Export.metrics_csv b);
+  Alcotest.(check (list (pair string int)))
+    "identical span paths" (Span.paths a.Obs.spans) (Span.paths b.Obs.spans);
+  (* Events appear in completion order: a mark records immediately, so
+     it precedes its enclosing span; children precede parents. *)
+  Alcotest.(check (list (pair string int)))
+    "span structure"
+    (List.concat
+       (List.init 5 (fun _ ->
+            [ ("outer/inner/tick", 3); ("outer/inner", 2) ]))
+    @ [ ("outer/tail", 2); ("outer", 1) ])
+    (Span.paths a.Obs.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_histogram_bucket_edges () =
+  let (), r =
+    Obs.with_sink (fun () ->
+        List.iter
+          (Obs.observe ~edges:[| 1.0; 2.0; 5.0 |] "h")
+          [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ])
+  in
+  match Metrics.snapshot r.Obs.metrics with
+  | [ ("h", Metrics.Histogram_v h) ] ->
+    (* Bucket rule is [v <= edge], first match: edge-exact observations
+       land in their own bucket, strictly-greater ones spill over. *)
+    Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |]
+      h.Metrics.counts;
+    Alcotest.(check int) "observations" 6 h.Metrics.observations;
+    Helpers.alco_float "sum" 17.0 h.Metrics.sum
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_histogram_rejects_bad_edges () =
+  let raises f =
+    match Obs.with_sink f with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "descending edges rejected" true
+    (raises (fun () -> Obs.observe ~edges:[| 2.0; 1.0 |] "h" 0.5));
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (raises (fun () ->
+         Obs.incr "mixed";
+         Obs.observe "mixed" 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* CSV export golden                                                   *)
+
+let test_metrics_csv_golden () =
+  let (), r =
+    Obs.with_sink (fun () ->
+        Obs.incr "alpha";
+        Obs.incr ~by:2 "alpha";
+        Obs.gauge "g" 1.5;
+        Obs.observe ~edges:[| 1.0; 2.0 |] "h" 0.5;
+        Obs.observe "h" 2.0;
+        Obs.observe "h" 9.0)
+  in
+  Alcotest.(check string) "golden CSV"
+    "kind,name,value\n\
+     counter,alpha,3\n\
+     gauge,g,1.5\n\
+     histogram,h.le.1,1\n\
+     histogram,h.le.2,1\n\
+     histogram,h.overflow,1\n\
+     histogram,h.count,3\n\
+     histogram,h.sum,11.5\n"
+    (Export.metrics_csv r)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace JSON well-formedness                                   *)
+
+(* Minimal recursive-descent JSON parser — enough to validate exporter
+   output without a JSON dependency (the repo deliberately has none). *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+        advance ();
+        let c = peek () in
+        advance ();
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          pos := !pos + 4;
+          Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let literal text v =
+    let l = String.length text in
+    if !pos + l <= n && String.sub s !pos l = text then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); J_obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((key, v) :: acc)
+          | '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); J_arr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_arr (elements [])
+      end
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with J_obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let str_field obj key =
+  match field obj key with Some (J_str s) -> Some s | _ -> None
+
+let test_chrome_trace_wellformed () =
+  let (), r = Obs.with_sink workload in
+  let trace = Export.chrome_trace r in
+  match parse_json trace with
+  | exception Bad_json msg -> Alcotest.fail ("trace is not valid JSON: " ^ msg)
+  | J_arr (meta :: events) ->
+    Alcotest.(check (option string))
+      "leads with process metadata" (Some "M") (str_field meta "ph");
+    Alcotest.(check bool) "has events" true (events <> []);
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun ev ->
+        (match str_field ev "name" with
+        | Some _ -> ()
+        | None -> Alcotest.fail "event without a name");
+        let numeric key =
+          match field ev key with
+          | Some (J_num _) -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "missing numeric %S" key)
+        in
+        match str_field ev "ph" with
+        | Some "X" ->
+          Hashtbl.replace seen "X" ();
+          numeric "ts";
+          numeric "dur";
+          (match field ev "args" with
+          | Some args when str_field args "path" <> None -> ()
+          | _ -> Alcotest.fail "span without args.path")
+        | Some "i" ->
+          Hashtbl.replace seen "i" ();
+          numeric "ts";
+          Alcotest.(check (option string)) "instant scope" (Some "t")
+            (str_field ev "s")
+        | Some "C" ->
+          Hashtbl.replace seen "C" ();
+          numeric "ts";
+          (match field ev "args" with
+          | Some args when field args "value" <> None -> ()
+          | _ -> Alcotest.fail "counter without args.value")
+        | other ->
+          Alcotest.fail
+            (Printf.sprintf "unexpected phase %S"
+               (Option.value ~default:"<none>" other)))
+      events;
+    List.iter
+      (fun ph ->
+        Alcotest.(check bool)
+          (Printf.sprintf "emits %S events" ph)
+          true (Hashtbl.mem seen ph))
+      [ "X"; "i"; "C" ]
+  | _ -> Alcotest.fail "trace is not a JSON array"
+
+(* ------------------------------------------------------------------ *)
+(* Solver probe-count regression                                       *)
+
+(* Pins the exact number of ledger feasibility probes the full heuristic
+   suite issues on a fixed 20-operator instance.  A change here means
+   the probing strategy (or the ledger's hit/miss behaviour) changed —
+   bump deliberately, not incidentally. *)
+let test_probe_count_regression () =
+  let inst =
+    Insp.Instance.generate
+      (Insp.Config.make ~n_operators:20 ~alpha:0.9 ~seed:1 ())
+  in
+  let _, r =
+    Obs.with_sink (fun () ->
+        Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
+          inst.Insp.Instance.platform)
+  in
+  let counter name = Metrics.counter r.Obs.metrics name in
+  Alcotest.(check (option int)) "probe count pinned" (Some 276)
+    (counter "heur.probe");
+  let hits = Option.value ~default:0 (counter "heur.probe.hit") in
+  let misses = Option.value ~default:0 (counter "heur.probe.miss") in
+  Alcotest.(check (option int)) "hits + misses = probes" (Some (hits + misses))
+    (counter "heur.probe");
+  Alcotest.(check (option int)) "all six heuristics solved" (Some 6)
+    (counter "heur.solve.ok")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "with_sink restores" `Quick
+            test_with_sink_restores;
+          Alcotest.test_case "span exception-safe" `Quick
+            test_span_exception_safe;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "deterministic across runs" `Quick
+            test_registry_deterministic;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "rejects bad edges and kind mixes" `Quick
+            test_histogram_rejects_bad_edges;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "metrics CSV golden" `Quick
+            test_metrics_csv_golden;
+          Alcotest.test_case "Chrome trace well-formed" `Quick
+            test_chrome_trace_wellformed;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "ledger probe count" `Quick
+            test_probe_count_regression;
+        ] );
+    ]

@@ -43,6 +43,33 @@ let test_fair_share_zero_cap () =
   in
   Array.iter (fun r -> Helpers.alco_float "starved" 0.0 r) rates
 
+(* Hand-computed golden topologies: the water-filling worked out on
+   paper, then pinned exactly. *)
+
+let test_golden_shared_nic () =
+  (* Three flows leave one shared NIC (cap 30 MB/s); each also crosses
+     its own ample link (cap 100).  The NIC is the only bottleneck:
+     30 / 3 = 10 each. *)
+  let caps = [| 30.0; 100.0; 100.0; 100.0 |] in
+  let membership = [| [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] |] in
+  let rates = Fair_share.compute ~caps ~membership in
+  Array.iter (fun r -> Helpers.alco_float "equal thirds" 10.0 r) rates;
+  Alcotest.(check bool) "max-min" true
+    (Fair_share.is_max_min ~caps ~membership ~rates)
+
+let test_golden_asymmetric_links () =
+  (* Same shared NIC (cap 30), but flow 0 also crosses a 5 MB/s link.
+     First fill freezes flow 0 at 5; the NIC's remaining 25 splits
+     between flows 1 and 2: 12.5 each. *)
+  let caps = [| 30.0; 5.0 |] in
+  let membership = [| [ 0; 1 ]; [ 0 ]; [ 0 ] |] in
+  let rates = Fair_share.compute ~caps ~membership in
+  Helpers.alco_float "capped by own link" 5.0 rates.(0);
+  Helpers.alco_float "splits the rest (flow 1)" 12.5 rates.(1);
+  Helpers.alco_float "splits the rest (flow 2)" 12.5 rates.(2);
+  Alcotest.(check bool) "max-min" true
+    (Fair_share.is_max_min ~caps ~membership ~rates)
+
 let fair_share_gen =
   QCheck.make
     ~print:(fun (seed, nf, nc) -> Printf.sprintf "seed=%d f=%d c=%d" seed nf nc)
@@ -204,6 +231,10 @@ let () =
           Alcotest.test_case "progressive filling" `Quick
             test_progressive_filling;
           Alcotest.test_case "zero cap" `Quick test_fair_share_zero_cap;
+          Alcotest.test_case "golden: shared NIC" `Quick
+            test_golden_shared_nic;
+          Alcotest.test_case "golden: asymmetric links" `Quick
+            test_golden_asymmetric_links;
           fair_share_is_max_min;
           fair_share_clamp_near_saturated;
           fair_share_conserves;
