@@ -1,6 +1,6 @@
 # Development entry points.  `make check` is the tier-1 gate.
 
-.PHONY: check build test bench bench-json lint lint-quick clean
+.PHONY: check build test bench bench-json bench-compare lint lint-quick clean
 
 check:
 	dune build && dune runtest && $(MAKE) lint
@@ -29,6 +29,13 @@ bench:
 # experiment), for trend tracking across commits.
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_insp.json
+
+# Regenerate the quick summary into a scratch file (git-ignored) and
+# diff it against the committed BENCH_insp.json: wall-time deltas plus
+# any counter/gauge drift.  Advisory; add --strict to fail on drift.
+bench-compare:
+	dune exec bench/main.exe -- --quick --json BENCH_insp.current.json
+	dune exec bench/compare.exe -- BENCH_insp.json BENCH_insp.current.json
 
 clean:
 	dune clean

@@ -1,0 +1,272 @@
+(* Diff two BENCH_insp.json summaries (schema insp-bench-v1).
+
+   Usage:
+     dune exec bench/compare.exe -- BASELINE CURRENT [--strict]
+
+   Reports, per experiment: the wall-time delta, and every recorded
+   counter or gauge whose value drifted between the two runs, plus
+   counters that appeared or vanished.  Wall time is timing-only and
+   only informational; counter/gauge values are part of the determinism
+   contract (DESIGN.md §10), so with [--strict] any value drift makes
+   the exit status 1 — `make bench-compare` stays advisory.
+
+   The parser below is the same dependency-free recursive-descent JSON
+   reader idiom as test/test_obs.ml: the repo deliberately carries no
+   JSON library. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' ->
+        advance ();
+        Buffer.contents buf
+      | '\\' ->
+        advance ();
+        let c = peek () in
+        advance ();
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          pos := !pos + 4;
+          Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let literal text v =
+    let l = String.length text in
+    if !pos + l <= n && String.sub s !pos l = text then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (
+        advance ();
+        J_obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (
+        advance ();
+        J_arr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_arr (elements [])
+      end
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* insp-bench-v1 model                                                  *)
+
+type experiment = {
+  wall_s : float;
+  counters : (string * float) list;  (* insertion order preserved *)
+  gauges : (string * float) list;
+}
+
+let field key = function
+  | J_obj members -> List.assoc_opt key members
+  | _ -> None
+
+let numbers = function
+  | Some (J_obj members) ->
+    List.filter_map
+      (fun (k, v) -> match v with J_num f -> Some (k, f) | _ -> None)
+      members
+  | _ -> []
+
+let load path =
+  let source =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = parse_json source in
+  (match field "schema" root with
+  | Some (J_str "insp-bench-v1") -> ()
+  | _ -> failwith (path ^ ": not an insp-bench-v1 summary"));
+  match field "experiments" root with
+  | Some (J_arr exps) ->
+    List.filter_map
+      (fun e ->
+        match field "id" e with
+        | Some (J_str id) ->
+          let wall_s =
+            match field "wall_s" e with Some (J_num f) -> f | _ -> 0.0
+          in
+          Some
+            ( id,
+              {
+                wall_s;
+                counters = numbers (field "counters" e);
+                gauges = numbers (field "gauges" e);
+              } )
+        | _ -> None)
+      exps
+  | _ -> failwith (path ^ ": missing experiments array")
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                 *)
+
+let drift = ref 0
+
+let diff_values ~kind ~fmt old_vs new_vs =
+  List.iter
+    (fun (name, ov) ->
+      match List.assoc_opt name new_vs with
+      | None ->
+        incr drift;
+        Printf.printf "    %-10s %-40s %s -> (gone)\n" kind name (fmt ov)
+      | Some nv when nv <> ov ->
+        incr drift;
+        Printf.printf "    %-10s %-40s %s -> %s\n" kind name (fmt ov) (fmt nv)
+      | Some _ -> ())
+    old_vs;
+  List.iter
+    (fun (name, nv) ->
+      if List.assoc_opt name old_vs = None then begin
+        incr drift;
+        Printf.printf "    %-10s %-40s (new) -> %s\n" kind name (fmt nv)
+      end)
+    new_vs
+
+let fmt_count v = Printf.sprintf "%.0f" v
+let fmt_gauge v = Printf.sprintf "%.6g" v
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let strict = List.mem "--strict" args in
+  match List.filter (fun a -> a <> "--strict") args with
+  | [ old_path; new_path ] ->
+    let old_exps = load old_path and new_exps = load new_path in
+    Printf.printf "bench-compare: %s (baseline) vs %s (current)\n" old_path
+      new_path;
+    List.iter
+      (fun (id, o) ->
+        match List.assoc_opt id new_exps with
+        | None ->
+          incr drift;
+          Printf.printf "  %-10s only in baseline\n" id
+        | Some c ->
+          let ratio = if o.wall_s > 0.0 then c.wall_s /. o.wall_s else 1.0 in
+          Printf.printf "  %-10s wall %6.2f s -> %6.2f s  (%.2fx)\n" id
+            o.wall_s c.wall_s ratio;
+          diff_values ~kind:"counter" ~fmt:fmt_count o.counters c.counters;
+          diff_values ~kind:"gauge" ~fmt:fmt_gauge o.gauges c.gauges)
+      old_exps;
+    List.iter
+      (fun (id, _) ->
+        if List.assoc_opt id old_exps = None then begin
+          incr drift;
+          Printf.printf "  %-10s only in current\n" id
+        end)
+      new_exps;
+    if !drift = 0 then
+      print_endline "no recorded-value drift (wall time is informational)"
+    else Printf.printf "%d recorded value(s) drifted\n" !drift;
+    if strict && !drift > 0 then exit 1
+  | _ ->
+    prerr_endline "usage: compare.exe BASELINE.json CURRENT.json [--strict]";
+    exit 2

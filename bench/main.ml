@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- catalog       # just the Table-1 catalog
      dune exec bench/main.exe -- --quick       # fast mode (fewer seeds)
      dune exec bench/main.exe -- --json F      # machine-readable summary to F
+     dune exec bench/main.exe -- --jobs N      # N sweep domains (same output)
 
    For every table and figure of the paper's evaluation (see DESIGN.md
    §4) this prints the regenerated series as a text table plus a CSV
@@ -27,7 +28,7 @@ let catalog_table () =
 (* Each experiment runs under its own observability sink and wall-clock
    timer; the per-experiment recorders feed the text reports and the
    --json summary. *)
-let run_experiment ~quick id =
+let run_experiment ~quick ~jobs id =
   line ("experiment " ^ id);
   match id with
   | "catalog" ->
@@ -36,7 +37,7 @@ let run_experiment ~quick id =
   | _ -> (
     let t0 = Unix.gettimeofday () in
     let out, recorder =
-      Insp.Obs.with_sink (fun () -> Insp.Suite.run_by_id ~quick id)
+      Insp.Obs.with_sink (fun () -> Insp.Suite.run_by_id ~quick ~jobs id)
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     match out with
@@ -381,17 +382,28 @@ let run_benchmarks () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let rec split_json acc = function
-    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | a :: rest -> split_json (a :: acc) rest
+  let rec split_opt flag acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | a :: rest -> split_opt flag (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let json_file, args = split_json [] args in
+  let json_file, args = split_opt "--json" [] args in
+  let jobs_arg, args = split_opt "--jobs" [] args in
+  let jobs =
+    match jobs_arg with
+    | None -> 1
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+        prerr_endline "bench: --jobs must be a positive integer";
+        exit 2)
+  in
   let ids = List.filter (fun a -> a <> "--quick") args in
   let ids =
     if ids = [] then Insp.Suite.all_ids @ [ "catalog" ] else ids
   in
-  let results = List.filter_map (run_experiment ~quick) ids in
+  let results = List.filter_map (run_experiment ~quick ~jobs) ids in
   (match json_file with
   | Some file ->
     Insp.Obs_export.save file (bench_json ~quick results);

@@ -283,27 +283,41 @@ let sweep_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer seeds and points.")
   in
-  let run experiment quick seed trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
-    let ids =
-      if experiment = "all" then Insp.Suite.all_ids else [ experiment ]
-    in
-    List.fold_left
-      (fun code id ->
-        if code <> 0 then code
-        else
-          match Insp.Suite.run_by_id ~quick ~seed id with
-          | Some s ->
-            print_string s;
-            print_newline ();
-            0
-          | None ->
-            prerr_endline ("unknown experiment: " ^ id);
-            exit_unknown_name)
-      0 ids
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run sweep cells on $(docv) domains.  Output is identical for \
+             every value (deterministic static partition).")
+  in
+  let run experiment quick seed jobs trace metrics =
+    if jobs < 1 then begin
+      prerr_endline "insp: --jobs must be >= 1";
+      exit_unknown_name
+    end
+    else
+      with_obs ~trace ~metrics @@ fun () ->
+      let ids =
+        if experiment = "all" then Insp.Suite.all_ids else [ experiment ]
+      in
+      List.fold_left
+        (fun code id ->
+          if code <> 0 then code
+          else
+            match Insp.Suite.run_by_id ~quick ~seed ~jobs id with
+            | Some s ->
+              print_string s;
+              print_newline ();
+              0
+            | None ->
+              prerr_endline ("unknown experiment: " ^ id);
+              exit_unknown_name)
+        0 ids
   in
   let term =
-    Term.(const run $ experiment $ quick $ seed $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ experiment $ quick $ seed $ jobs $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~exits

@@ -59,6 +59,7 @@ module Exact = Insp_lp.Exact
 
 (* Simulation *)
 module Fair_share = Insp_sim.Fair_share
+module Fair_share_inc = Insp_sim.Fair_share_inc
 module Runtime = Insp_sim.Runtime
 
 (* Observability *)
@@ -83,6 +84,7 @@ module Config = Insp_workload.Config
 module Instance = Insp_workload.Instance
 module Figure = Insp_experiments.Figure
 module Suite = Insp_experiments.Suite
+module Par_sweep = Insp_experiments.Par_sweep
 
 (** Solve an instance with the paper's best heuristic
     (Subtree-bottom-up), falling back to every other heuristic in the
@@ -109,6 +111,6 @@ let solve ?(seed = 0) (inst : Instance.t) =
          first rest)
 
 (** Validate then execute a mapping in the discrete-event runtime. *)
-let simulate ?window ?horizon ?warmup (inst : Instance.t) alloc =
-  Runtime.run ?window ?horizon ?warmup inst.Instance.app inst.Instance.platform
-    alloc
+let simulate ?window ?horizon ?warmup ?kernel (inst : Instance.t) alloc =
+  Runtime.run ?window ?horizon ?warmup ?kernel inst.Instance.app
+    inst.Instance.platform alloc

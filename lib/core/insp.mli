@@ -66,6 +66,7 @@ module Exact = Insp_lp.Exact
 (** {1 Simulation} *)
 
 module Fair_share = Insp_sim.Fair_share
+module Fair_share_inc = Insp_sim.Fair_share_inc
 module Runtime = Insp_sim.Runtime
 
 (** {1 Observability}
@@ -97,6 +98,7 @@ module Config = Insp_workload.Config
 module Instance = Insp_workload.Instance
 module Figure = Insp_experiments.Figure
 module Suite = Insp_experiments.Suite
+module Par_sweep = Insp_experiments.Par_sweep
 
 (** {1 Entry points} *)
 
@@ -111,7 +113,9 @@ val simulate :
   ?window:int ->
   ?horizon:float ->
   ?warmup:float ->
+  ?kernel:Fair_share_inc.kernel ->
   Instance.t ->
   Alloc.t ->
   Runtime.report
-(** Validate then execute a mapping in the discrete-event runtime. *)
+(** Validate then execute a mapping in the discrete-event runtime.
+    [kernel] selects the fair-share solver (default [`Incremental]). *)

@@ -11,17 +11,16 @@ let default_seeds = [ 1; 2; 3; 4; 5 ]
 
 let heuristic_names = List.map (fun h -> h.Solve.name) Solve.all
 
-(* Run every heuristic on every seed of a configuration; returns one
-   Figure cell per heuristic. *)
-let cells_for ?(instance_of = Instance.generate) config ~seeds =
-  let runs =
-    List.map
-      (fun seed ->
-        Obs.span "sweep.seed" (fun () ->
-            let inst = instance_of { config with Config.seed } in
-            Solve.run_all ~seed inst.Instance.app inst.Instance.platform))
-      seeds
-  in
+(* One sweep cell: every heuristic on one seed of one configuration.
+   This is the unit Par_sweep distributes across domains. *)
+let solve_cell ?(instance_of = Instance.generate) config seed =
+  Obs.span "sweep.seed" (fun () ->
+      let inst = instance_of { config with Config.seed } in
+      Solve.run_all ~seed inst.Instance.app inst.Instance.platform)
+
+(* Regroup per-seed heuristic outcomes into one Figure cell per
+   heuristic. *)
+let group_cells ~seeds runs =
   List.map
     (fun name ->
       let costs =
@@ -37,15 +36,28 @@ let cells_for ?(instance_of = Instance.generate) config ~seeds =
       (name, Figure.cell_of_costs ~attempts:(List.length seeds) costs))
     heuristic_names
 
+let cells_for ?instance_of config ~seeds =
+  group_cells ~seeds
+    (Par_sweep.map (fun seed -> solve_cell ?instance_of config seed) seeds)
+
 let sweep_n ~id ~title ~seeds ~ns ~config_of =
+  (* Flatten the (n, seed) grid into one cell list so a parallel run
+     keeps every worker busy across point boundaries; results come back
+     in canonical grid order and are sliced per point. *)
+  let runs =
+    List.concat_map (fun n -> List.map (fun seed -> (n, seed)) seeds) ns
+    |> Par_sweep.map (fun (n, seed) -> solve_cell (config_of n) seed)
+    |> Array.of_list
+  in
+  let k = List.length seeds in
   let points =
-    List.map
-      (fun n ->
-        Obs.span "sweep.point" (fun () ->
-            {
-              Figure.x = float_of_int n;
-              cells = cells_for (config_of n) ~seeds;
-            }))
+    List.mapi
+      (fun pi n ->
+        {
+          Figure.x = float_of_int n;
+          cells =
+            group_cells ~seeds (List.init k (fun si -> runs.((pi * k) + si)));
+        })
       ns
   in
   {
@@ -154,21 +166,29 @@ let ilp_compare ?(seeds = default_seeds) ?(ns = [ 5; 8; 11; 14; 17; 20 ]) () =
         let heuristic_cells =
           cells_for ~instance_of:homogeneous_instance config ~seeds
         in
-        let exact_costs = ref [] in
-        let bound_costs = ref [] in
-        List.iter
-          (fun seed ->
-            let inst = homogeneous_instance { config with Config.seed } in
-            let catalog = inst.Instance.platform.Insp_platform.Platform.catalog in
-            bound_costs :=
-              Cost.lower_bound_cost inst.Instance.app catalog :: !bound_costs;
-            match
-              Exact.solve ~node_limit:400_000 inst.Instance.app
-                inst.Instance.platform
-            with
-            | Ok r -> exact_costs := r.Exact.cost :: !exact_costs
-            | Error _ -> ())
-          seeds;
+        let exact_runs =
+          Par_sweep.map
+            (fun seed ->
+              let inst = homogeneous_instance { config with Config.seed } in
+              let catalog =
+                inst.Instance.platform.Insp_platform.Platform.catalog
+              in
+              let bound = Cost.lower_bound_cost inst.Instance.app catalog in
+              let exact =
+                match
+                  Exact.solve ~node_limit:400_000 inst.Instance.app
+                    inst.Instance.platform
+                with
+                | Ok r -> Some r.Exact.cost
+                | Error _ -> None
+              in
+              (bound, exact))
+            seeds
+        in
+        (* Reversed like the sequential accumulator builds them, so the
+           per-cell float folds are unchanged. *)
+        let bound_costs = ref (List.rev_map fst exact_runs) in
+        let exact_costs = ref (List.rev (List.filter_map snd exact_runs)) in
         let attempts = List.length seeds in
         {
           Figure.x = float_of_int n;
@@ -232,7 +252,7 @@ let rewrite ?(seeds = default_seeds) ?(ns = [ 8; 12; 16; 20 ]) ?(alpha = 1.4)
             ("Hill-climbed", opt_cost);
           ]
         in
-        let per_seed = List.map run_shapes seeds in
+        let per_seed = Par_sweep.map run_shapes seeds in
         let attempts = List.length seeds in
         let cell name =
           let costs =
@@ -280,7 +300,7 @@ let sharing ?(seeds = default_seeds) ?(n_apps_list = [ 1; 2; 3; 4; 5 ])
           | Error _ -> None
         in
         let collect build =
-          List.filter_map (run build) seeds
+          List.filter_map Fun.id (Par_sweep.map (run build) seeds)
         in
         let attempts = List.length seeds in
         {
@@ -323,43 +343,43 @@ let sim_validation ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 20; 60 ]) () =
         ("sustains", Table.Left);
       ]
   in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun seed ->
-          let config = Config.make ~n_operators:n ~alpha:0.9 ~seed () in
-          let inst = Instance.generate config in
-          match Solve.run ~seed sbu inst.Instance.app inst.Instance.platform with
-          | Error _ ->
-            Table.add_row table
-              [ string_of_int n; string_of_int seed; "-"; "-"; "-"; "infeasible" ]
-          | Ok o ->
-            (* Horizon long enough to dominate the pipeline-fill
-               transient of deep mappings. *)
-            let r =
-              Runtime.run ~horizon:240.0 inst.Instance.app
-                inst.Instance.platform o.Solve.alloc
-            in
-            Table.add_row table
-              [
-                string_of_int n;
-                string_of_int seed;
-                string_of_int o.Solve.n_procs;
-                Printf.sprintf "%.2f" r.Runtime.target_throughput;
-                Printf.sprintf "%.3f" r.Runtime.achieved_throughput;
-                (if Runtime.sustains_target r then "yes" else "NO");
-              ])
-        seeds)
-    ns;
+  let rows =
+    List.concat_map (fun n -> List.map (fun seed -> (n, seed)) seeds) ns
+    |> Par_sweep.map (fun (n, seed) ->
+           let config = Config.make ~n_operators:n ~alpha:0.9 ~seed () in
+           let inst = Instance.generate config in
+           match
+             Solve.run ~seed sbu inst.Instance.app inst.Instance.platform
+           with
+           | Error _ ->
+             [ string_of_int n; string_of_int seed; "-"; "-"; "-"; "infeasible" ]
+           | Ok o ->
+             (* Horizon long enough to dominate the pipeline-fill
+                transient of deep mappings. *)
+             let r =
+               Runtime.run ~horizon:240.0 inst.Instance.app
+                 inst.Instance.platform o.Solve.alloc
+             in
+             [
+               string_of_int n;
+               string_of_int seed;
+               string_of_int o.Solve.n_procs;
+               Printf.sprintf "%.2f" r.Runtime.target_throughput;
+               Printf.sprintf "%.3f" r.Runtime.achieved_throughput;
+               (if Runtime.sustains_target r then "yes" else "NO");
+             ])
+  in
+  List.iter (Table.add_row table) rows;
   Table.render table
 
 let all_ids =
   [ "fig2a"; "fig2b"; "fig3"; "fig3-n20"; "large"; "lowfreq"; "rates";
     "ilp"; "sharing"; "rewrite"; "replication"; "simcheck" ]
 
-let run_by_id ?(quick = false) ?(seed = 1) id =
+let run_by_id ?(quick = false) ?(seed = 1) ?(jobs = 1) id =
   let seeds = List.init (if quick then 2 else 5) (fun i -> seed + i) in
   let ns = if quick then [ 20; 60 ] else default_ns in
+  Par_sweep.with_jobs jobs @@ fun () ->
   Obs.span ("experiment." ^ id) @@ fun () ->
   match id with
   | "fig2a" -> Some (Figure.render (fig2a ~seeds ~ns ()))

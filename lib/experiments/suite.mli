@@ -57,9 +57,11 @@ val all_ids : string list
 (** In DESIGN.md order: fig2a fig2b fig3 fig3-n20 large lowfreq rates ilp
     simcheck. *)
 
-val run_by_id : ?quick:bool -> ?seed:int -> string -> string option
+val run_by_id : ?quick:bool -> ?seed:int -> ?jobs:int -> string -> string option
 (** Rendered experiment output; [quick] shrinks seeds and sweep points
     (used by tests).  [seed] (default 1) is the base of the consecutive
     seed list ([seed .. seed+4], or [seed .. seed+1] when quick), so the
-    default reproduces {!default_seeds}.  Runs under an
-    [experiment.<id>] observability span.  [None] for an unknown id. *)
+    default reproduces {!default_seeds}.  [jobs] (default 1) is the
+    {!Par_sweep} worker count — the rendered output and merged metrics
+    are identical for every value.  Runs under an [experiment.<id>]
+    observability span.  [None] for an unknown id. *)

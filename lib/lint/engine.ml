@@ -26,6 +26,15 @@ let wall_clock_sanctioned file =
   | [ "lib"; "obs"; "clock.ml" ] -> true
   | _ -> false
 
+(* D4 sanctioned location — domain spawning is legitimate exactly in the
+   deterministic sweep runner, which owns the static partition, the
+   per-worker sinks and the canonical-order merge (DESIGN.md §11).
+   Anywhere else a spawn is an unmanaged interleaving. *)
+let domain_spawn_sanctioned file =
+  match path_parts file with
+  | [ "lib"; "experiments"; "par_sweep.ml" ] -> true
+  | _ -> false
+
 exception Parse_error of string
 
 (* ------------------------------------------------------------------ *)
@@ -135,6 +144,7 @@ type ctx = {
   scope : scope;
   lib_util : bool;
   wall_ok : bool;
+  domain_ok : bool;
   suppress : Suppress.t;
   mutable sort_depth : int;
   mutable allow_stack : Rule.t list list;
@@ -170,6 +180,15 @@ let check_ident ctx loc path =
       (Printf.sprintf
          "wall-clock read %s is nondeterministic; timing belongs in bench/ \
           or the blessed Insp_obs.Clock"
+         (String.concat "." path))
+  | _ -> ());
+  (match path with
+  | [ "Domain"; ("spawn" | "spawn_on") ] when not ctx.domain_ok ->
+    report ctx Rule.D4 loc
+      (Printf.sprintf
+         "%s outside the sweep runner; route parallelism through \
+          Insp_experiments.Par_sweep so partitioning and merge order stay \
+          deterministic"
          (String.concat "." path))
   | _ -> ());
   match path with
@@ -266,6 +285,7 @@ let lint_source ~file source =
       scope = scope_of_file file;
       lib_util = under_lib_util file;
       wall_ok = wall_clock_sanctioned file;
+      domain_ok = domain_spawn_sanctioned file;
       suppress;
       sort_depth = 0;
       allow_stack = [];

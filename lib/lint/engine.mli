@@ -22,7 +22,7 @@ exception Parse_error of string
 (** Raised when a file does not lex/parse as an OCaml implementation. *)
 
 val lint_source : file:string -> string -> Rule.finding list
-(** Run every AST rule (D1, D2, D3, F1, P1) on one implementation
+(** Run every AST rule (D1, D2, D3, D4, F1, P1) on one implementation
     source.  [file] is the path used for scoping and reporting; the
     source itself is taken from the string, so tests can lint inline
     fixtures.  Comment and attribute suppressions are honoured.

@@ -10,12 +10,13 @@ type t =
   | D1  (** no [Stdlib.Random] outside [lib/util] PRNG internals *)
   | D2  (** Hashtbl iteration feeding a list must be canonicalized *)
   | D3  (** no wall-clock reads ([Sys.time], [Unix.gettimeofday]) outside [bench/] *)
+  | D4  (** no [Domain.spawn] outside [lib/experiments/par_sweep.ml] *)
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
 
 val all : t list
-(** In report order: D1, D2, D3, F1, P1, P2. *)
+(** In report order: D1, D2, D3, D4, F1, P1, P2. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)

@@ -6,14 +6,19 @@
 
    [Unix.gettimeofday] is not monotonic under clock steps (NTP), so
    readings are clamped to be non-decreasing; all consumers get elapsed
-   microseconds since the first read of the process. *)
+   microseconds since the first read of the process.  The clamp state is
+   domain-local so parallel sweep workers never race on it. *)
 
 let t0 = Unix.gettimeofday ()
-let last = ref 0.0
+let last : float Domain.DLS.key = Domain.DLS.new_key (fun () -> 0.0)
 
 let elapsed_us () =
   let t = (Unix.gettimeofday () -. t0) *. 1e6 in
-  if t > !last then last := t;
-  !last
+  let l = Domain.DLS.get last in
+  if t > l then begin
+    Domain.DLS.set last t;
+    t
+  end
+  else l
 
 let elapsed_s () = elapsed_us () /. 1e6

@@ -97,6 +97,39 @@ let gauge t name =
   | Some (Gauge g) -> Some g.value
   | Some (Counter _ | Histogram _) | None -> None
 
+(* Merge is what makes domain-parallel sweeps equivalent to sequential
+   ones: each cell records into its own registry and the runner absorbs
+   them in canonical cell order, so the merged registry's insertion
+   order — and therefore the snapshot — is independent of how the work
+   was scheduled.  Counters merge even at 0 so name registration (and
+   with it insertion order) is preserved. *)
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.tbl name with
+      | None -> assert false (* names only ever grows with tbl *)
+      | Some (Counter c) -> incr ~by:c.count into name
+      | Some (Gauge g) -> set_gauge into name g.value
+      | Some (Histogram h) -> (
+        match Hashtbl.find_opt into.tbl name with
+        | Some (Histogram h') ->
+          if h'.edges <> h.edges then
+            invalid_arg ("Metrics.merge: histogram edges mismatch for " ^ name);
+          Array.iteri (fun i c -> h'.counts.(i) <- h'.counts.(i) + c) h.counts;
+          h'.observations <- h'.observations + h.observations;
+          h'.sum <- h'.sum +. h.sum
+        | Some (Counter _ | Gauge _) -> kind_error name
+        | None ->
+          register into name
+            (Histogram
+               {
+                 edges = Array.copy h.edges;
+                 counts = Array.copy h.counts;
+                 observations = h.observations;
+                 sum = h.sum;
+               })))
+    (List.rev src.names)
+
 let snapshot t =
   List.rev_map
     (fun name ->

@@ -43,5 +43,13 @@ val observe : ?edges:float array -> t -> string -> float -> unit
 val counter : t -> string -> int option
 val gauge : t -> string -> float option
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every metric of [src] into [into], in
+    [src]'s insertion order: counters add (registering at 0 if absent,
+    so name order is preserved), gauges overwrite (last writer wins, as
+    in sequential execution), histograms add bucket-wise.  Raises
+    [Invalid_argument] on a kind mismatch or on histograms with
+    different edges.  [src] is not modified. *)
+
 val snapshot : t -> (string * value) list
 (** All metrics, in insertion order. *)

@@ -1,51 +1,68 @@
-(* Instrumentation facade: a global-but-swappable sink (DESIGN.md §10).
+(* Instrumentation facade: a domain-local-but-swappable sink
+   (DESIGN.md §10).
 
    Call sites in the engines use the guarded entry points below
-   unconditionally; with no sink installed each call is one ref read and
-   a match — cheap enough for hot loops (feasibility probes, simplex
-   pivots, simulator events).  Installing a sink turns the same calls
-   into registry updates.  The sink is deliberately process-global: the
-   engines thread no handle, so instrumentation never changes an API. *)
+   unconditionally; with no sink installed each call is one domain-local
+   read and a match — cheap enough for hot loops (feasibility probes,
+   simplex pivots, simulator events).  Installing a sink turns the same
+   calls into registry updates.  The sink is deliberately ambient: the
+   engines thread no handle, so instrumentation never changes an API.
+   It lives in domain-local storage rather than a plain ref so that
+   parallel sweep workers (Par_sweep) each record into their own sink
+   with no sharing; recorders are merged on the spawning domain via
+   [absorb]. *)
 
 type t = { metrics : Metrics.t; spans : Span.t }
 
 let create () = { metrics = Metrics.create (); spans = Span.create () }
 
-let sink : t option ref = ref None
+let sink_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install s = sink := Some s
-let uninstall () = sink := None
-let active () = !sink
-let enabled () = Option.is_some !sink
+let install s = Domain.DLS.set sink_key (Some s)
+let uninstall () = Domain.DLS.set sink_key None
+let active () = Domain.DLS.get sink_key
+let enabled () = Option.is_some (active ())
 
 let with_sink f =
+  let prev = active () in
   let s = create () in
   install s;
-  let result = Fun.protect ~finally:uninstall f in
+  let result =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set sink_key prev) f
+  in
   (result, s)
+
+let absorb r =
+  match active () with
+  | None -> ()
+  | Some s -> Metrics.merge ~into:s.metrics r.metrics
 
 (* --- guarded instrumentation entry points --- *)
 
 let incr ?by name =
-  match !sink with None -> () | Some s -> Metrics.incr ?by s.metrics name
+  match active () with
+  | None -> ()
+  | Some s -> Metrics.incr ?by s.metrics name
 
 let add name by = incr ~by name
 
 let gauge name v =
-  match !sink with None -> () | Some s -> Metrics.set_gauge s.metrics name v
+  match active () with
+  | None -> ()
+  | Some s -> Metrics.set_gauge s.metrics name v
 
 let observe ?edges name v =
-  match !sink with
+  match active () with
   | None -> ()
   | Some s -> Metrics.observe ?edges s.metrics name v
 
 let mark name =
-  match !sink with
+  match active () with
   | None -> ()
   | Some s -> Span.mark s.spans name (Clock.elapsed_us ())
 
 let span name f =
-  match !sink with
+  match active () with
   | None -> f ()
   | Some s ->
     Span.enter s.spans name (Clock.elapsed_us ());

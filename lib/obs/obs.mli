@@ -1,10 +1,13 @@
-(** Instrumentation facade over a global-but-swappable sink
+(** Instrumentation facade over a domain-local-but-swappable sink
     (DESIGN.md §10).
 
     The engines call the guarded entry points ([incr], [span], …)
     unconditionally.  With no sink installed every call is a no-op
-    costing one ref read; [install] (or [with_sink]) makes the same
-    calls record into a {!Metrics} registry and a {!Span} recorder.
+    costing one domain-local read; [install] (or [with_sink]) makes the
+    same calls record into a {!Metrics} registry and a {!Span} recorder.
+    The sink lives in domain-local storage: each {!Domain} records
+    independently, and parallel workers hand their recorders back to
+    the spawning domain, which folds them in with {!absorb}.
 
     Determinism contract: recorded {e values} (counters, gauges,
     histogram counts, span paths and order) are deterministic for a
@@ -16,7 +19,7 @@ type t = { metrics : Metrics.t; spans : Span.t }
 val create : unit -> t
 
 val install : t -> unit
-(** Make [t] the process-global sink. *)
+(** Make [t] the current domain's sink. *)
 
 val uninstall : unit -> unit
 
@@ -25,8 +28,16 @@ val active : unit -> t option
 val enabled : unit -> bool
 
 val with_sink : (unit -> 'a) -> 'a * t
-(** Run [f] with a fresh sink installed, uninstalling afterwards (also
-    on exceptions); returns [f]'s result and the filled sink. *)
+(** Run [f] with a fresh sink installed, restoring the previously
+    installed sink afterwards (also on exceptions) — nests safely;
+    returns [f]'s result and the filled sink. *)
+
+val absorb : t -> unit
+(** [absorb r] merges [r]'s metrics into the currently installed sink
+    (see {!Metrics.merge}); a no-op when none is installed.  [r]'s
+    spans are dropped — they are timing-only by the determinism
+    contract, and a worker's span tree has no stable place in the
+    absorbing domain's. *)
 
 (** {1 Guarded entry points} — no-ops when no sink is installed. *)
 

@@ -43,7 +43,8 @@ type event =
 
 let epsilon = 1e-9
 
-let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
+let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
+    platform alloc =
   (* The pipeline needs enough results in flight to cover its depth in
      processor hops, otherwise the work-ahead bound (not a resource)
      throttles throughput. *)
@@ -76,10 +77,31 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let arrived = Array.map (fun cs -> Array.map (fun _ -> 0) cs) children in
   let computing = Array.make n_procs false in
   let busy_until_accum = Array.make n_procs 0.0 in
-  let root_completions = ref [] in
-  (* --- flows --- *)
-  let flows : flow list ref = ref [] in
-  let rates : (flow * float) list ref = ref [] in
+  let n_root_completions = ref 0 in
+  let n_after_warmup = ref 0 in
+  (* --- flows ---
+     Both kernel variants drive the same persistent registry in
+     [Fair_share_inc], so constraint indices (and therefore bottleneck
+     tie-breaks) coincide and the two paths produce bit-identical
+     rates. *)
+  let fs = Fair_share_inc.create ~kernel () in
+  (* Constraints: proc cards (in+out), server cards, pair links.
+     Registered once, on the first flow that crosses them. *)
+  let cap_index = Hashtbl.create 16 in
+  let constraint_of key cap =
+    match Hashtbl.find_opt cap_index key with
+    | Some cid -> cid
+    | None ->
+      let cid = Fair_share_inc.add_constraint fs cap in
+      Hashtbl.replace cap_index key cid;
+      cid
+  in
+  (* fid -> flow payload; fids are slot-reused, so this stays sized by
+     the concurrently active flows. *)
+  let flow_by_fid = ref (Array.make 16 None) in
+  let flow_at fid =
+    match !flow_by_fid.(fid) with Some f -> f | None -> assert false
+  in
   let events = Heap.create () in
   let n_events = ref 0 in
   let download_delivered = ref 0.0 in
@@ -89,52 +111,60 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let n_recomputes = ref 0 in
   let n_flows_started = ref 0 in
   let n_flows_completed = ref 0 in
-  (* Fair-share recomputation over the active flows. *)
+  (* Rates are refreshed lazily: flow arrivals/departures only mark
+     them dirty, and the water-filling kernel runs once per loop
+     iteration that actually reads rates.  Bursts of same-instant
+     events (periodic downloads firing together, completions cascading
+     at one timestamp) then share a single recompute instead of paying
+     one each — the dominant cost of a run (see DESIGN.md §11). *)
+  let rates_dirty = ref false in
+  (* Active flows with [remaining <= epsilon].  Only such flows can
+     complete "now", so when the list is empty a heap event due at the
+     current instant can be processed without consulting rates at all.
+     Flows are recorded as they cross the threshold, so the completion
+     branch needs no rescan of the active set. *)
+  let tiny = ref (Array.make 16 0) in
+  let n_tiny = ref 0 in
+  let push_tiny fid =
+    if !n_tiny >= Array.length !tiny then begin
+      let b = Array.make (2 * Array.length !tiny) 0 in
+      Array.blit !tiny 0 b 0 !n_tiny;
+      tiny := b
+    end;
+    !tiny.(!n_tiny) <- fid;
+    incr n_tiny
+  in
+  let start_flow f =
+    incr n_flows_started;
+    rates_dirty := true;
+    let dst_card = constraint_of (`Proc_card f.dst) (nic f.dst) in
+    let ms =
+      match f.src with
+      | Proc u ->
+        let src_card = constraint_of (`Proc_card u) (nic u) in
+        let link =
+          constraint_of (`Plink (u, f.dst)) platform.Platform.proc_link
+        in
+        [ src_card; dst_card; link ]
+      | Server l ->
+        let src_card = constraint_of (`Server_card l) (Servers.card servers l) in
+        let link =
+          constraint_of (`Slink (l, f.dst)) platform.Platform.server_link
+        in
+        [ src_card; dst_card; link ]
+    in
+    let fid = Fair_share_inc.add_flow fs ms in
+    if fid >= Array.length !flow_by_fid then begin
+      let b = Array.make (max (fid + 1) (2 * Array.length !flow_by_fid)) None in
+      Array.blit !flow_by_fid 0 b 0 (Array.length !flow_by_fid);
+      flow_by_fid := b
+    end;
+    !flow_by_fid.(fid) <- Some f;
+    if f.remaining <= epsilon then push_tiny fid
+  in
   let recompute_rates () =
     incr n_recomputes;
-    let fl = Array.of_list !flows in
-    if Array.length fl = 0 then rates := []
-    else begin
-      (* Constraints: proc cards (in+out), server cards, active pair
-         links. *)
-      let caps = ref [] in
-      let n_caps = ref 0 in
-      let cap_index = Hashtbl.create 16 in
-      let constraint_of key cap =
-        match Hashtbl.find_opt cap_index key with
-        | Some idx -> idx
-        | None ->
-          let idx = !n_caps in
-          incr n_caps;
-          Hashtbl.replace cap_index key idx;
-          caps := cap :: !caps;
-          idx
-      in
-      let membership =
-        Array.map
-          (fun f ->
-            let dst_card = constraint_of (`Proc_card f.dst) (nic f.dst) in
-            match f.src with
-            | Proc u ->
-              let src_card = constraint_of (`Proc_card u) (nic u) in
-              let link =
-                constraint_of (`Plink (u, f.dst)) platform.Platform.proc_link
-              in
-              [ src_card; dst_card; link ]
-            | Server l ->
-              let src_card =
-                constraint_of (`Server_card l) (Servers.card servers l)
-              in
-              let link =
-                constraint_of (`Slink (l, f.dst)) platform.Platform.server_link
-              in
-              [ src_card; dst_card; link ])
-          fl
-      in
-      let caps = Array.of_list (List.rev !caps) in
-      let r = Fair_share.compute ~caps ~membership in
-      rates := Array.to_list (Array.mapi (fun i f -> (f, r.(i))) fl)
-    end
+    Fair_share_inc.refresh fs
   in
   (* --- pipeline readiness --- *)
   let child_slot i c =
@@ -180,12 +210,14 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let finish_compute op result =
     completed.(op) <- result;
     computing.(proc_of.(op)) <- false;
-    if op = Optree.root tree then root_completions := !now :: !root_completions;
+    if op = Optree.root tree then begin
+      incr n_root_completions;
+      if !now >= warmup then incr n_after_warmup
+    end;
     match Optree.parent tree op with
     | Some p when proc_of.(p) <> proc_of.(op) ->
       let size = App.output_size app op in
-      incr n_flows_started;
-      flows :=
+      start_flow
         {
           kind = Message { child = op };
           src = Proc proc_of.(op);
@@ -193,11 +225,17 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
           size;
           remaining = size;
         }
-        :: !flows;
-      recompute_rates ()
     | Some _ | None -> ()
   in
-  let finish_flow f =
+  (* Set when a finished Message flow bumped an arrival count — the
+     only way a flow completion can make an operator ready.  Download
+     completions leave readiness untouched, so an all-download batch
+     can skip the dispatch scan: every readiness mutation elsewhere is
+     already followed by its own [dispatch ()], meaning the scan would
+     find nothing to start. *)
+  let arrival_bumped = ref false in
+  let finish_flow fid =
+    let f = flow_at fid in
     (match f.kind with
     | Message { child } ->
       let p =
@@ -206,10 +244,13 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
         | None -> assert false (* no Message flow is ever sent for the root *)
       in
       let slot = child_slot p child in
-      arrived.(p).(slot) <- arrived.(p).(slot) + 1
+      arrived.(p).(slot) <- arrived.(p).(slot) + 1;
+      arrival_bumped := true
     | Download _ -> ());
     incr n_flows_completed;
-    flows := List.filter (fun g -> g != f) !flows
+    !flow_by_fid.(fid) <- None;
+    rates_dirty := true;
+    Fair_share_inc.remove_flow fs fid
   in
   (* Seed periodic downloads. *)
   List.iter
@@ -217,70 +258,129 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
       Heap.push events 0.0 (Download_due { proc = u; object_type = k; server = l }))
     (Alloc.all_downloads alloc);
   dispatch ();
+  let handle_event = function
+    | Compute_done { op; result } ->
+      finish_compute op result;
+      dispatch ()
+    | Download_due { proc; object_type; server } ->
+      let size = Insp_tree.Objects.size (App.objects app) object_type in
+      let freq = Insp_tree.Objects.freq (App.objects app) object_type in
+      start_flow
+        {
+          kind = Download { proc; object_type };
+          src = Server server;
+          dst = proc;
+          size;
+          remaining = size;
+        };
+      Heap.push events (!now +. (1.0 /. freq))
+        (Download_due { proc; object_type; server })
+      (* No dispatch: starting a download cannot make an operator
+         ready, so the scan would be a guaranteed no-op. *)
+  in
   (* --- main loop --- *)
+  let t_flow_cache = ref infinity in
+  let t_flow_valid = ref false in
   let continue_ = ref true in
   while !continue_ do
     let t_heap = match Heap.peek events with Some (t, _) -> t | None -> infinity in
-    let t_flow =
-      List.fold_left
-        (fun acc (f, r) ->
-          if r > epsilon then Float.min acc (!now +. (f.remaining /. r)) else acc)
-        infinity !rates
-    in
-    let t_next = Float.min horizon (Float.min t_heap t_flow) in
-    (* Advance all flows to t_next. *)
-    let dt = t_next -. !now in
-    if dt > 0.0 then
-      List.iter
-        (fun (f, r) ->
-          let moved = Float.min f.remaining (r *. dt) in
-          f.remaining <- f.remaining -. moved;
-          match f.kind with
-          | Download _ -> download_delivered := !download_delivered +. moved
-          | Message _ -> ())
-        !rates;
-    now := t_next;
-    if t_next >= horizon then continue_ := false
-    else if t_flow <= t_heap then begin
-      (* One or more flows completed. *)
-      incr n_events;
-      let done_flows = List.filter (fun f -> f.remaining <= epsilon) !flows in
-      List.iter finish_flow done_flows;
-      recompute_rates ();
-      dispatch ()
-    end
-    else begin
+    if t_heap <= !now && !now < horizon && !n_tiny = 0 then begin
+      (* Fast path: a heap event is due at the current instant and no
+         flow can complete before it (a completion "now" requires an
+         active flow with [remaining <= epsilon], and there is none).
+         Time does not advance, so no rate is read — process the event
+         without refreshing.  This collapses a burst of same-instant
+         events into a single deferred recompute at the next real read,
+         with bit-identical trajectories: the slow path below would
+         take its heap branch with dt = 0 for each of them anyway. *)
       incr n_events;
       match Heap.pop events with
-      | None -> continue_ := false
-      | Some (_, Compute_done { op; result }) ->
-        finish_compute op result;
-        dispatch ()
-      | Some (_, Download_due { proc; object_type; server }) ->
-        let size = Insp_tree.Objects.size (App.objects app) object_type in
-        let freq = Insp_tree.Objects.freq (App.objects app) object_type in
-        incr n_flows_started;
-        flows :=
-          {
-            kind = Download { proc; object_type };
-            src = Server server;
-            dst = proc;
-            size;
-            remaining = size;
-          }
-          :: !flows;
-        Heap.push events (!now +. (1.0 /. freq))
-          (Download_due { proc; object_type; server });
+      | None -> assert false (* t_heap is finite, so the heap is non-empty *)
+      | Some (_, ev) -> handle_event ev
+    end
+    else begin
+      if !rates_dirty then begin
+        rates_dirty := false;
         recompute_rates ();
-        dispatch ()
+        (* Rates moved under the cached prediction's feet. *)
+        t_flow_valid := false
+      end;
+      (* Next flow completion.  [now +. (remaining /. r)] depends only
+         on each flow's rate and residual size, both unchanged since
+         the advance pass that cached it (any start/finish or refresh
+         cleared the flag), so reuse is bit-exact and the scan is
+         skipped on iterations whose rates stayed clean. *)
+      let t_flow =
+        if !t_flow_valid then !t_flow_cache
+        else begin
+          let tf = ref infinity in
+          Fair_share_inc.iter_active fs (fun fid r ->
+              if r > epsilon then begin
+                let f = flow_at fid in
+                tf := Float.min !tf (!now +. (f.remaining /. r))
+              end);
+          !tf
+        end
+      in
+      let t_next = Float.min horizon (Float.min t_heap t_flow) in
+      (* Advance all flows to t_next, predicting the next completion
+         time as a side product: with [now] about to become [t_next],
+         the candidate below is the same float expression the scan
+         above would evaluate next iteration. *)
+      let dt = t_next -. !now in
+      if dt > 0.0 then begin
+        let tf = ref infinity in
+        Fair_share_inc.iter_active fs (fun fid r ->
+            let f = flow_at fid in
+            let before = f.remaining in
+            let moved = Float.min f.remaining (r *. dt) in
+            f.remaining <- f.remaining -. moved;
+            if before > epsilon && f.remaining <= epsilon then push_tiny fid;
+            if r > epsilon then
+              tf := Float.min !tf (t_next +. (f.remaining /. r));
+            match f.kind with
+            | Download _ -> download_delivered := !download_delivered +. moved
+            | Message _ -> ());
+        t_flow_cache := !tf;
+        t_flow_valid := true
+      end;
+      now := t_next;
+      if t_next >= horizon then continue_ := false
+      else if t_flow <= t_heap then begin
+        (* One or more flows completed.  The tiny list holds exactly
+           the active flows with [remaining <= epsilon] (a flow crosses
+           the threshold once and is only ever removed here), so no
+           rescan is needed — just finish them in ascending fid order,
+           the order the scan this replaces used to yield. *)
+        incr n_events;
+        let k = !n_tiny in
+        let a = !tiny in
+        for i = 1 to k - 1 do
+          let v = a.(i) in
+          let j = ref i in
+          while !j > 0 && a.(!j - 1) > v do
+            a.(!j) <- a.(!j - 1);
+            decr j
+          done;
+          a.(!j) <- v
+        done;
+        n_tiny := 0;
+        arrival_bumped := false;
+        for i = 0 to k - 1 do
+          finish_flow a.(i)
+        done;
+        if !arrival_bumped then dispatch ()
+      end
+      else begin
+        incr n_events;
+        match Heap.pop events with
+        | None -> continue_ := false
+        | Some (_, ev) -> handle_event ev
+      end
     end
   done;
   (* --- measurement --- *)
-  let completions = List.rev !root_completions in
-  let after_warmup = List.filter (fun t -> t >= warmup) completions in
-  let achieved =
-    float_of_int (List.length after_warmup) /. (horizon -. warmup)
-  in
+  let achieved = float_of_int !n_after_warmup /. (horizon -. warmup) in
   let ideal =
     List.fold_left
       (fun acc (_, k, _) -> acc +. (App.download_rate app k *. horizon))
@@ -290,7 +390,7 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   let report =
     {
       sim_time = horizon;
-      results_completed = List.length completions;
+      results_completed = !n_root_completions;
       achieved_throughput = achieved;
       target_throughput = App.rho app;
       proc_busy =
@@ -305,6 +405,14 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   Obs.add "sim.flow.started" !n_flows_started;
   Obs.add "sim.flow.completed" !n_flows_completed;
   Obs.add "sim.result" report.results_completed;
+  (match kernel with
+  | `Incremental ->
+    let ks = Fair_share_inc.stats fs in
+    Obs.add "sim.component.recompute" ks.Fair_share_inc.components_recomputed;
+    Obs.add "sim.component.flow" ks.Fair_share_inc.flows_recomputed;
+    Obs.add "sim.component.round" ks.Fair_share_inc.rounds;
+    Obs.add "sim.component.rebuild" ks.Fair_share_inc.rebuilds
+  | `Full -> ());
   Obs.gauge "sim.throughput.achieved" report.achieved_throughput;
   let busy = report.proc_busy in
   if Array.length busy > 0 then begin
@@ -314,9 +422,9 @@ let run_impl ?window ?(horizon = 80.0) ?warmup app platform alloc =
   end;
   report
 
-let run ?window ?horizon ?warmup app platform alloc =
+let run ?window ?horizon ?warmup ?kernel app platform alloc =
   Obs.span "sim.run" (fun () ->
-      run_impl ?window ?horizon ?warmup app platform alloc)
+      run_impl ?window ?horizon ?warmup ?kernel app platform alloc)
 
 let pp_report ppf r =
   Format.fprintf ppf

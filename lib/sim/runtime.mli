@@ -46,6 +46,7 @@ val run :
   ?window:int ->
   ?horizon:float ->
   ?warmup:float ->
+  ?kernel:Fair_share_inc.kernel ->
   Insp_tree.App.t ->
   Insp_platform.Platform.t ->
   Insp_mapping.Alloc.t ->
@@ -55,7 +56,11 @@ val run :
     processors ([max 8 (2 * n_procs)]) so the bound never throttles a
     deep pipeline.  [horizon] (default 80 simulated seconds) and
     [warmup] (default a quarter of the horizon) frame the measurement.
-    Requires every operator assigned (checker-valid structure); capacity
-    violations are allowed and simply show up as reduced throughput. *)
+    [kernel] selects the fair-share solver (default [`Incremental]);
+    both kernels are deterministic and produce identical reports — the
+    [`Full] oracle exists for equivalence testing and debugging (see
+    {!Fair_share_inc}).  Requires every operator assigned
+    (checker-valid structure); capacity violations are allowed and
+    simply show up as reduced throughput. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -3,6 +3,7 @@
 
 module Figure = Insp.Figure
 module Suite = Insp.Suite
+module Par_sweep = Insp.Par_sweep
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -203,6 +204,67 @@ let test_replication_flat () =
       [ "Comp-Greedy"; "Subtree-bottom-up"; "Comm-Greedy" ]
   | _ -> Alcotest.fail "expected two points"
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps                                                     *)
+
+let test_par_map_order () =
+  let xs = List.init 17 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "sequential" expect
+    (Par_sweep.map ~jobs:1 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "parallel keeps order" expect
+    (Par_sweep.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "more workers than cells" [ 9 ]
+    (Par_sweep.map ~jobs:8 (fun x -> x * x) [ 3 ]);
+  Alcotest.(check (list int)) "empty" [] (Par_sweep.map ~jobs:4 Fun.id [])
+
+let test_par_map_seeded_jobs_invariant () =
+  let f rng x = x + Insp.Prng.int_range rng 0 1_000_000 in
+  let xs = List.init 9 Fun.id in
+  let a = Par_sweep.map_seeded ~jobs:1 ~seed:42 f xs in
+  let b = Par_sweep.map_seeded ~jobs:3 ~seed:42 f xs in
+  Alcotest.(check (list int)) "per-cell streams are jobs-invariant" a b
+
+let test_par_map_raises_lowest_failure () =
+  let boom i = if i mod 3 = 0 then failwith (string_of_int i) else i in
+  Alcotest.check_raises "lowest-indexed failure wins" (Failure "3") (fun () ->
+      ignore (Par_sweep.map ~jobs:4 boom (List.init 10 (fun i -> i + 1))))
+
+let test_par_map_merges_metrics () =
+  (* Worker-side counters must be absorbed into the caller's sink, in
+     canonical cell order, whatever the worker count. *)
+  let run jobs =
+    let (), sink =
+      Insp.Obs.with_sink (fun () ->
+          ignore
+            (Par_sweep.map ~jobs
+               (fun i ->
+                 Insp.Obs.incr ~by:i "cell.work";
+                 Insp.Obs.incr (Printf.sprintf "cell.%d" i))
+               (List.init 6 Fun.id)))
+    in
+    Insp.Obs_export.metrics_csv sink
+  in
+  let seq = run 1 in
+  Alcotest.(check bool) "counters recorded" true
+    (contains seq "counter,cell.work,15");
+  Alcotest.(check string) "metrics identical at jobs=4" seq (run 4)
+
+let test_run_by_id_jobs_invariant () =
+  let run jobs =
+    let out, sink =
+      Insp.Obs.with_sink (fun () ->
+          Suite.run_by_id ~quick:true ~jobs "fig2a")
+    in
+    match out with
+    | Some s -> (s, Insp.Obs_export.metrics_csv sink)
+    | None -> Alcotest.fail "fig2a unknown"
+  in
+  let text1, csv1 = run 1 in
+  let text4, csv4 = run 4 in
+  Alcotest.(check string) "rendered figure identical" text1 text4;
+  Alcotest.(check string) "merged metrics identical" csv1 csv4
+
 let test_simcheck_sustains () =
   let s = Suite.sim_validation ~seeds:[ 1 ] ~ns:[ 20 ] () in
   Alcotest.(check bool) "table rendered" true (contains s "simcheck");
@@ -230,5 +292,17 @@ let () =
           Alcotest.test_case "rewrite shape" `Quick test_rewrite_quick_shape;
           Alcotest.test_case "replication flat" `Quick test_replication_flat;
           Alcotest.test_case "simcheck sustains" `Quick test_simcheck_sustains;
+        ] );
+      ( "par_sweep",
+        [
+          Alcotest.test_case "map keeps order" `Quick test_par_map_order;
+          Alcotest.test_case "map_seeded jobs-invariant" `Quick
+            test_par_map_seeded_jobs_invariant;
+          Alcotest.test_case "lowest failure raised" `Quick
+            test_par_map_raises_lowest_failure;
+          Alcotest.test_case "metrics merged canonically" `Quick
+            test_par_map_merges_metrics;
+          Alcotest.test_case "run_by_id jobs-invariant" `Quick
+            test_run_by_id_jobs_invariant;
         ] );
     ]

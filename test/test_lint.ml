@@ -161,6 +161,51 @@ let test_d3_suppressed () =
 |})
 
 (* ------------------------------------------------------------------ *)
+(* D4: Domain.spawn outside the sweep runner                           *)
+
+let d4_src = {|let d = Domain.spawn (fun () -> work ())
+|}
+
+let test_d4_positive () =
+  check_reports "D4 fires in lib"
+    [
+      "lib/fixture.ml:1:8: [D4] Domain.spawn outside the sweep runner; \
+       route parallelism through Insp_experiments.Par_sweep so \
+       partitioning and merge order stay deterministic";
+    ]
+    (lint d4_src);
+  check_reports "D4 fires on spawn_on and in test scope"
+    [
+      "test/fixture.ml:1:8: [D4] Domain.spawn_on outside the sweep runner; \
+       route parallelism through Insp_experiments.Par_sweep so \
+       partitioning and merge order stay deterministic";
+    ]
+    (lint ~file:"test/fixture.ml"
+       {|let d = Domain.spawn_on dom (fun () -> work ())
+|});
+  (* The sanction is the one file, not the whole experiments library. *)
+  check_reports "D4 still fires in a sibling experiments module"
+    [
+      "lib/experiments/suite.ml:1:8: [D4] Domain.spawn outside the sweep \
+       runner; route parallelism through Insp_experiments.Par_sweep so \
+       partitioning and merge order stay deterministic";
+    ]
+    (lint ~file:"lib/experiments/suite.ml" d4_src)
+
+let test_d4_negative () =
+  check_reports "the sweep runner is exempt" []
+    (lint ~file:"lib/experiments/par_sweep.ml" d4_src);
+  check_reports "other Domain calls are fine" []
+    (lint {|let n = Domain.recommended_domain_count ()
+let () = Domain.join d
+|})
+
+let test_d4_suppressed () =
+  check_reports "attribute suppression" []
+    (lint {|let d = (Domain.spawn work [@lint.allow "d4"])
+|})
+
+(* ------------------------------------------------------------------ *)
 (* F1: float equality / polymorphic compare                            *)
 
 let test_f1_positive () =
@@ -350,6 +395,12 @@ let () =
           Alcotest.test_case "positive" `Quick test_d3_positive;
           Alcotest.test_case "negative" `Quick test_d3_negative;
           Alcotest.test_case "suppressed" `Quick test_d3_suppressed;
+        ] );
+      ( "d4",
+        [
+          Alcotest.test_case "positive" `Quick test_d4_positive;
+          Alcotest.test_case "negative" `Quick test_d4_negative;
+          Alcotest.test_case "suppressed" `Quick test_d4_suppressed;
         ] );
       ( "f1",
         [

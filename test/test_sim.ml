@@ -3,6 +3,7 @@
    analytic constraint checker. *)
 
 module Fair_share = Insp.Fair_share
+module FSI = Insp.Fair_share_inc
 module Runtime = Insp.Runtime
 module Solve = Insp.Solve
 module Alloc = Insp.Alloc
@@ -141,6 +142,125 @@ let fair_share_conserves =
       Array.for_all2 (fun l c -> l <= c +. 1e-6) load caps)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental fair-share kernel                                       *)
+
+let check_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Component tracking through a merge (bridge flow) and the split when
+   the bridge is removed, with hand-computed water-filling rates. *)
+let test_fsi_component_merge_split () =
+  let t = FSI.create () in
+  let c0 = FSI.add_constraint t 10.0 in
+  let c1 = FSI.add_constraint t 6.0 in
+  let c2 = FSI.add_constraint t 8.0 in
+  let c3 = FSI.add_constraint t 20.0 in
+  Alcotest.(check int) "dense indices" 3 c3;
+  let f0 = FSI.add_flow t [ c0; c1 ] in
+  let f1 = FSI.add_flow t [ c2; c3 ] in
+  FSI.refresh t;
+  Alcotest.(check (list (list int))) "two components"
+    [ [ 0; 1 ]; [ 2; 3 ] ] (FSI.components t);
+  check_bits "f0 capped by c1" 6.0 (FSI.rate t f0);
+  check_bits "f1 capped by c2" 8.0 (FSI.rate t f1);
+  (* Bridge flow across c1 and c2 merges the components.  Water-fill:
+     c1 serves {f0, bridge} -> share 3 freezes both; c2's remaining
+     8 - 3 = 5 then goes entirely to f1. *)
+  let bridge = FSI.add_flow t [ c1; c2 ] in
+  FSI.refresh t;
+  Alcotest.(check (list (list int))) "merged"
+    [ [ 0; 1; 2; 3 ] ] (FSI.components t);
+  check_bits "f0 squeezed" 3.0 (FSI.rate t f0);
+  check_bits "bridge" 3.0 (FSI.rate t bridge);
+  check_bits "f1 gets the rest" 5.0 (FSI.rate t f1);
+  (* Removing the bridge splits the component again and restores the
+     original rates. *)
+  FSI.remove_flow t bridge;
+  FSI.refresh t;
+  Alcotest.(check (list (list int))) "split back"
+    [ [ 0; 1 ]; [ 2; 3 ] ] (FSI.components t);
+  check_bits "f0 restored" 6.0 (FSI.rate t f0);
+  check_bits "f1 restored" 8.0 (FSI.rate t f1);
+  let s = FSI.stats t in
+  Alcotest.(check bool) "removal forced a rebuild" true (s.FSI.rebuilds >= 1);
+  Alcotest.(check bool) "did component work" true
+    (s.FSI.components_recomputed >= 3)
+
+let test_fsi_refresh_no_op () =
+  let t = FSI.create () in
+  let c = FSI.add_constraint t 4.0 in
+  ignore (FSI.add_flow t [ c ]);
+  FSI.refresh t;
+  let before = (FSI.stats t).FSI.refreshes in
+  FSI.refresh t;
+  FSI.refresh t;
+  Alcotest.(check int) "clean refresh is free" before
+    (FSI.stats t).FSI.refreshes
+
+let test_fsi_fid_reuse_lifo () =
+  let t = FSI.create () in
+  let c = FSI.add_constraint t 4.0 in
+  let a = FSI.add_flow t [ c ] in
+  let b = FSI.add_flow t [ c ] in
+  FSI.remove_flow t a;
+  FSI.remove_flow t b;
+  Alcotest.(check int) "last freed first" b (FSI.add_flow t [ c ]);
+  Alcotest.(check int) "then the older slot" a (FSI.add_flow t [ c ]);
+  FSI.refresh t;
+  Alcotest.(check (list int)) "ascending ids" [ a; b ] (FSI.active_flows t)
+
+let fsi_gen =
+  QCheck.make
+    ~print:(fun (seed, nc, ns) ->
+      Printf.sprintf "seed=%d caps=%d steps=%d" seed nc ns)
+    QCheck.Gen.(triple (0 -- 10000) (1 -- 8) (1 -- 25))
+
+(* The headline equivalence suite: replay an identical randomized
+   add/remove/refresh history against both kernels and demand
+   bit-identical rates after every refresh.  Removals force union-find
+   rebuilds and component splits; batches of 1-3 ops exercise merged
+   dirty sets. *)
+let fsi_matches_oracle =
+  qtest ~count:500 "incremental kernel bit-identical to full oracle" fsi_gen
+    (fun (seed, n_caps, n_steps) ->
+      let rng = Insp.Prng.create seed in
+      let inc = FSI.create ~kernel:`Incremental () in
+      let full = FSI.create ~kernel:`Full () in
+      for _ = 1 to n_caps do
+        let cap = Insp.Prng.float_range rng 0.0 20.0 in
+        ignore (FSI.add_constraint inc cap);
+        ignore (FSI.add_constraint full cap)
+      done;
+      let ok = ref true in
+      for _ = 1 to n_steps do
+        let n_ops = Insp.Prng.int_range rng 1 3 in
+        for _ = 1 to n_ops do
+          let actives = FSI.active_flows inc in
+          let n_active = List.length actives in
+          if n_active > 0 && Insp.Prng.int_range rng 0 99 < 35 then begin
+            let victim =
+              List.nth actives (Insp.Prng.int_range rng 0 (n_active - 1))
+            in
+            FSI.remove_flow inc victim;
+            FSI.remove_flow full victim
+          end
+          else begin
+            let k = Insp.Prng.int_range rng 1 n_caps in
+            let ms = Insp.Prng.sample_without_replacement rng k n_caps in
+            if FSI.add_flow inc ms <> FSI.add_flow full ms then ok := false
+          end
+        done;
+        FSI.refresh inc;
+        FSI.refresh full;
+        if FSI.active_flows inc <> FSI.active_flows full then ok := false
+        else
+          FSI.iter_active inc (fun fid r ->
+              if Int64.bits_of_float r <> Int64.bits_of_float (FSI.rate full fid)
+              then ok := false)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Runtime                                                             *)
 
 let sbu = List.find (fun h -> h.Solve.key = "sbu") Solve.all
@@ -207,6 +327,63 @@ let test_runtime_rejects_partial_alloc () =
     (Invalid_argument "Runtime.run: unassigned operator") (fun () ->
       ignore (Runtime.run app platform partial))
 
+let check_reports_identical a b =
+  Alcotest.(check int) "events" a.Runtime.events b.Runtime.events;
+  Alcotest.(check int) "completions" a.Runtime.results_completed
+    b.Runtime.results_completed;
+  check_bits "sim_time" a.Runtime.sim_time b.Runtime.sim_time;
+  check_bits "achieved" a.Runtime.achieved_throughput
+    b.Runtime.achieved_throughput;
+  check_bits "target" a.Runtime.target_throughput b.Runtime.target_throughput;
+  check_bits "download" a.Runtime.download_delivered
+    b.Runtime.download_delivered;
+  Alcotest.(check int) "proc_busy length"
+    (Array.length a.Runtime.proc_busy)
+    (Array.length b.Runtime.proc_busy);
+  Array.iteri
+    (fun u busy ->
+      check_bits (Printf.sprintf "proc_busy.(%d)" u) busy
+        b.Runtime.proc_busy.(u))
+    a.Runtime.proc_busy
+
+let test_runtime_kernels_agree () =
+  let inst = Helpers.instance ~n:15 ~seed:5 () in
+  match
+    Solve.run ~seed:5 sbu inst.Insp.Instance.app inst.Insp.Instance.platform
+  with
+  | Error f -> Alcotest.fail (Solve.failure_message f)
+  | Ok o ->
+    let run kernel =
+      Runtime.run ~kernel inst.Insp.Instance.app inst.Insp.Instance.platform
+        o.Solve.alloc
+    in
+    check_reports_identical (run `Full) (run `Incremental)
+
+(* Same property across the whole randomized instance space, including
+   overloaded mappings (capacity violations stress flow churn). *)
+let runtime_kernels_agree_randomized =
+  qtest ~count:15 "full and incremental kernels produce identical reports"
+    Helpers.instance_case (fun case ->
+      let inst = Helpers.instance_of_case case in
+      let app = inst.Insp.Instance.app in
+      let platform = inst.Insp.Instance.platform in
+      match Solve.run ~seed:3 sbu app platform with
+      | Error _ -> true
+      | Ok o ->
+        let run kernel =
+          Runtime.run ~horizon:60.0 ~kernel app platform o.Solve.alloc
+        in
+        let a = run `Full and b = run `Incremental in
+        a.Runtime.events = b.Runtime.events
+        && a.Runtime.results_completed = b.Runtime.results_completed
+        && Int64.bits_of_float a.Runtime.achieved_throughput
+           = Int64.bits_of_float b.Runtime.achieved_throughput
+        && Int64.bits_of_float a.Runtime.download_delivered
+           = Int64.bits_of_float b.Runtime.download_delivered
+        && Array.for_all2
+             (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+             a.Runtime.proc_busy b.Runtime.proc_busy)
+
 (* The headline cross-validation: checker-feasible => simulator
    sustains the target throughput. *)
 let feasible_mappings_sustain_rho =
@@ -239,15 +416,26 @@ let () =
           fair_share_clamp_near_saturated;
           fair_share_conserves;
         ] );
+      ( "fair_share_inc",
+        [
+          Alcotest.test_case "component merge and split" `Quick
+            test_fsi_component_merge_split;
+          Alcotest.test_case "clean refresh is a no-op" `Quick
+            test_fsi_refresh_no_op;
+          Alcotest.test_case "fid reuse is LIFO" `Quick test_fsi_fid_reuse_lifo;
+          fsi_matches_oracle;
+        ] );
       ( "runtime",
         [
           Alcotest.test_case "tiny feasible sustains" `Quick
             test_runtime_tiny_feasible;
           Alcotest.test_case "deterministic" `Quick test_runtime_deterministic;
+          Alcotest.test_case "kernels agree" `Quick test_runtime_kernels_agree;
           Alcotest.test_case "detects overload" `Quick
             test_runtime_detects_compute_overload;
           Alcotest.test_case "rejects partial alloc" `Quick
             test_runtime_rejects_partial_alloc;
+          runtime_kernels_agree_randomized;
           feasible_mappings_sustain_rho;
         ] );
     ]
