@@ -212,6 +212,16 @@ let load path =
 
 let drift = ref 0
 
+(* Gauges named *_ms are wall-time measurements (e.g. the
+   journal.overhead row): informational like wall_s, so value changes
+   are reported but never counted as drift.  Appearing or vanishing
+   still drifts — the *set* of recorded metrics is part of the
+   contract. *)
+let timing_gauge name =
+  let suffix = "_ms" in
+  let n = String.length name and l = String.length suffix in
+  n >= l && String.sub name (n - l) l = suffix
+
 let diff_values ~kind ~fmt old_vs new_vs =
   List.iter
     (fun (name, ov) ->
@@ -220,7 +230,7 @@ let diff_values ~kind ~fmt old_vs new_vs =
         incr drift;
         Printf.printf "    %-10s %-40s %s -> (gone)\n" kind name (fmt ov)
       | Some nv when nv <> ov ->
-        incr drift;
+        if not (kind = "gauge" && timing_gauge name) then incr drift;
         Printf.printf "    %-10s %-40s %s -> %s\n" kind name (fmt ov) (fmt nv)
       | Some _ -> ())
     old_vs;

@@ -259,6 +259,54 @@ let fixed_instance ?(n = 60) ?(alpha = 0.9) ?sizes ?freq () =
   Insp.Instance.generate
     (Insp.Config.make ~n_operators:n ~alpha ?sizes ?freq ~seed:1 ())
 
+(* ------------------------------------------------------------------ *)
+(* Journal recording overhead: the zero-cost-when-off claim             *)
+
+(* Same heuristic-suite workload with no sink installed and with a
+   journaling sink; the delta is what `Obs.event` guards plus event
+   construction cost.  Reported as a synthetic BENCH_insp.json row so
+   bench-compare tracks it across commits. *)
+let journal_overhead_entry ~quick () =
+  line "journal overhead (no sink vs recording)";
+  let inst = fixed_instance ~n:30 () in
+  let work () =
+    ignore
+      (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
+         inst.Insp.Instance.platform)
+  in
+  let reps = if quick then 5 else 30 in
+  let time f =
+    (* one warmup rep keeps allocator state comparable between regimes *)
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let off_s = time work in
+  let events = ref 0 in
+  let on_s =
+    time (fun () ->
+        let (), r = Insp.Obs.with_sink ~journal:true work in
+        events := Insp.Obs_journal.length r.Insp.Obs.journal)
+  in
+  let overhead_pct = 100.0 *. ((on_s /. Float.max off_s 1e-9) -. 1.0) in
+  Printf.printf
+    "no sink:   %8.2f ms/run\n\
+     recording: %8.2f ms/run  (%d journal events per run)\n\
+     overhead:  %+7.1f%%\n\
+     %!"
+    (off_s *. 1e3) (on_s *. 1e3) !events overhead_pct;
+  let recorder = Insp.Obs.create () in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.incr ~by:!events m "journal.events";
+  (* the _ms suffix marks these as wall-time gauges: bench-compare
+     reports them but exempts them from the --strict drift check *)
+  Insp.Obs_metrics.set_gauge m "journal.wall_off_ms" (off_s *. 1e3);
+  Insp.Obs_metrics.set_gauge m "journal.wall_on_ms" (on_s *. 1e3);
+  ("journal.overhead", on_s *. float_of_int reps, recorder)
+
 let solve_suite inst () =
   ignore
     (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
@@ -404,6 +452,7 @@ let () =
     if ids = [] then Insp.Suite.all_ids @ [ "catalog" ] else ids
   in
   let results = List.filter_map (run_experiment ~quick ~jobs) ids in
+  let results = results @ [ journal_overhead_entry ~quick () ] in
   (match json_file with
   | Some file ->
     Insp.Obs_export.save file (bench_json ~quick results);

@@ -102,6 +102,88 @@ let with_obs ~trace ~metrics f =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Decision journal helpers                                            *)
+
+module Journal = Insp.Obs_journal
+
+let journal_depth_arg =
+  let doc =
+    "Cap per hot event category (DES scheduling, LP branching) in the \
+     decision journal; the cutoff is marked with a truncated event."
+  in
+  Arg.(
+    value
+    & opt int Journal.default_depth
+    & info [ "journal-depth" ] ~docv:"N" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run every requested heuristic under a journaling sink and return the
+   outcomes plus the canonical JSONL (manifest first).  The manifest
+   makes the journal self-describing: same file, years later, still
+   names the instance it explains. *)
+let journaled_solve ~n ~alpha ~sizes ~freq ~seed ~heuristic ~depth () =
+  let cfg = Insp.Config.make ~n_operators:n ~alpha ~sizes ~freq ~seed () in
+  let heuristics =
+    if heuristic = "all" then Some Insp.Solve.all
+    else Option.map (fun h -> [ h ]) (Insp.Solve.find heuristic)
+  in
+  match heuristics with
+  | None -> None
+  | Some hs ->
+    let inst = Insp.Instance.generate cfg in
+    let results, recorder =
+      Insp.Obs.with_sink ~journal:true ~journal_depth:depth (fun () ->
+          List.map
+            (fun (h : Insp.Solve.heuristic) ->
+              ( h,
+                Insp.Solve.run ~seed h inst.Insp.Instance.app
+                  inst.Insp.Instance.platform ))
+            hs)
+    in
+    Journal.set_manifest recorder.Insp.Obs.journal
+      {
+        Journal.m_seed = seed;
+        m_config_hash =
+          Journal.hash_hex (Format.asprintf "%a" Insp.Config.pp cfg);
+        m_heuristic = heuristic;
+        m_args =
+          [
+            ("n", string_of_int n);
+            ("alpha", Printf.sprintf "%g" alpha);
+            ( "sizes",
+              match sizes with
+              | Insp.Config.Small -> "small"
+              | Insp.Config.Large -> "large" );
+            ( "freq",
+              match freq with
+              | Insp.Config.High -> "high"
+              | Insp.Config.Low -> "low"
+              | Insp.Config.Custom f -> Printf.sprintf "%g" f );
+            ("journal-depth", string_of_int depth);
+          ];
+      };
+    Some (results, recorder)
+
+let solve_exit_code results =
+  if List.exists (fun (_, r) -> Result.is_ok r) results then 0
+  else exit_infeasible
+
+let print_divergence (d : Journal.divergence) =
+  List.iter (fun l -> Format.printf "  %s@." l) d.Journal.div_context;
+  let side tag = function
+    | Some l -> Format.printf "%s %s@." tag l
+    | None -> Format.printf "%s <end of journal>@." tag
+  in
+  side "<" d.Journal.div_left;
+  side ">" d.Journal.div_right;
+  Format.printf "first divergence at line %d@." d.Journal.div_line
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
 let print_outcomes inst results verbose =
@@ -490,13 +572,173 @@ let catalog_cmd =
           accepted for interface uniformity and ignored.")
     Term.(const run $ seed)
 
+(* ------------------------------------------------------------------ *)
+(* journal dump / diff / verify, explain                               *)
+
+let journal_dump_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "journal.jsonl"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Decision journal destination (canonical JSONL).")
+  in
+  let run n alpha sizes freq seed heuristic depth out trace metrics =
+    match journaled_solve ~n ~alpha ~sizes ~freq ~seed ~heuristic ~depth () with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ heuristic);
+      exit_unknown_name
+    | Some (results, recorder) ->
+      Insp.Obs_export.save out (Journal.to_jsonl recorder.Insp.Obs.journal);
+      Format.printf "wrote decision journal to %s (%d events)@." out
+        (Journal.length recorder.Insp.Obs.journal);
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path (Insp.Obs_export.chrome_trace recorder);
+          Format.printf "wrote Chrome trace to %s@." path)
+        trace;
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
+          Format.printf "wrote metrics CSV to %s@." path)
+        metrics;
+      solve_exit_code results
+  in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
+      $ journal_depth_arg $ out $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~exits
+       ~doc:
+         "Solve an instance with decision journaling on and write the \
+          canonical JSONL journal (manifest line first).")
+    term
+
+let journal_diff_cmd =
+  let file_a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"Journal A.")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"Journal B.")
+  in
+  let context =
+    Arg.(
+      value & opt int 3
+      & info [ "context" ] ~docv:"K"
+          ~doc:"Common lines printed before the divergence.")
+  in
+  let run a b context =
+    match Journal.diff ~context (read_file a) (read_file b) with
+    | None ->
+      Format.printf "journals are identical@.";
+      0
+    | Some d ->
+      print_divergence d;
+      exit_infeasible
+  in
+  Cmd.v
+    (Cmd.info "diff" ~exits
+       ~doc:
+         "First divergent decision event between two journal files, with \
+          context — the \"why did seed 7 cost two more processors\" answer.")
+    Term.(const run $ file_a $ file_b $ context)
+
+let journal_verify_cmd =
+  let run n alpha sizes freq seed heuristic depth =
+    let once () =
+      Option.map
+        (fun (results, recorder) ->
+          (results, Journal.to_jsonl recorder.Insp.Obs.journal))
+        (journaled_solve ~n ~alpha ~sizes ~freq ~seed ~heuristic ~depth ())
+    in
+    match once () with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ heuristic);
+      exit_unknown_name
+    | Some (results, first) -> (
+      match once () with
+      | None -> exit_unknown_name
+      | Some (_, second) -> (
+        match Journal.diff first second with
+        | None ->
+          Format.printf "journal verify: OK (%d lines, byte-identical)@."
+            (List.length (String.split_on_char '\n' first) - 1);
+          solve_exit_code results
+        | Some d ->
+          Format.printf "journal verify: FAILED@.";
+          print_divergence d;
+          exit_infeasible))
+  in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
+      $ journal_depth_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~exits
+       ~doc:
+         "Run the scenario twice and require byte-identical journals — a \
+          determinism gate over every recorded allocation decision.")
+    term
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal" ~exits
+       ~doc:"Deterministic decision journal: dump, diff, verify.")
+    [ journal_dump_cmd; journal_diff_cmd; journal_verify_cmd ]
+
+let explain_cmd =
+  let proc =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"PROC" ~doc:"Final processor index to explain.")
+  in
+  let run n alpha sizes freq seed heuristic depth proc =
+    (* "all" would interleave six pipelines; explain one heuristic's
+       choice — default to the paper's best performer. *)
+    let heuristic = if heuristic = "all" then "sbu" else heuristic in
+    match journaled_solve ~n ~alpha ~sizes ~freq ~seed ~heuristic ~depth () with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ heuristic);
+      exit_unknown_name
+    | Some (_, recorder) -> (
+      let events = Journal.events recorder.Insp.Obs.journal in
+      match Journal.explain ~proc events with
+      | [] ->
+        Format.printf
+          "no decision chain for processor %d (infeasible run or index out \
+           of range)@."
+          proc;
+        exit_infeasible
+      | chain ->
+        List.iter
+          (fun ev -> print_endline (Journal.event_to_json ev))
+          chain;
+        0)
+  in
+  let term =
+    Term.(
+      const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
+      $ journal_depth_arg $ proc)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~exits
+       ~doc:
+         "Filter the decision journal to the chain of decisions that led to \
+          one purchased processor (its group's probes, merges, downloads and \
+          downgrades).")
+    term
+
 let main =
   let doc = "resource allocation for constructive in-network stream processing" in
   let info = Cmd.info "insp" ~version:Insp.version ~doc in
   Cmd.group info
     [
       solve_cmd; simulate_cmd; sweep_cmd; exact_cmd; multi_cmd; rewrite_cmd;
-      catalog_cmd;
+      catalog_cmd; journal_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -24,8 +24,15 @@ let map ?jobs f items =
      sequential and parallel runs record the exact same metrics, and
      workers never share a registry.  Cell spans are dropped by
      [Obs.absorb] (timing-only contract). *)
+  (* Journal inheritance must be captured here, on the calling domain:
+     worker domains have no enclosing sink in their DLS, so [with_sink]'s
+     inherit-from-prev default would silently disable journaling for
+     every cell a spawned worker runs. *)
+  let journal = Obs.journaling () in
+  let journal_depth = Obs.journal_depth () in
   let run_cell i =
-    try Ok (Obs.with_sink (fun () -> f items.(i))) with e -> Error (i, e)
+    try Ok (Obs.with_sink ~journal ~journal_depth (fun () -> f items.(i)))
+    with e -> Error (i, e)
   in
   let results = Array.make n None in
   let store = List.iter (fun (i, r) -> results.(i) <- Some r) in

@@ -5,6 +5,7 @@ module Platform = Insp_platform.Platform
 module Demand = Insp_mapping.Demand
 module Ledger = Insp_mapping.Ledger
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 (* Every feasibility probe reports to the observability sink: a total
    ("heur.probe") plus its outcome ("heur.probe.hit"/".miss"), so probe
@@ -14,6 +15,15 @@ let count_probe ok =
   Obs.incr "heur.probe";
   Obs.incr (if ok then "heur.probe.hit" else "heur.probe.miss");
   ok
+
+(* Probe verdict with the rejection reason, preserving the original
+   short-circuit order (demand first, flows only when demand fits) so
+   probe counts and work done are unchanged.  [flows] is a thunk because
+   some call sites compute pairwise flows lazily. *)
+let verdict_of fits_demand flows_ok' =
+  if not fits_demand then (false, Some Journal.Demand_exceeded)
+  else if not (flows_ok' ()) then (false, Some Journal.Link_exceeded)
+  else (true, None)
 
 type group_id = int
 
@@ -108,21 +118,37 @@ let candidate_flows t ~members ~ignore_groups =
 
 let can_host t ~config ~members ?(ignore_groups = []) () =
   let d = Demand.of_group t.app members in
-  count_probe
-    (Demand.fits config d
-    && flows_ok t (candidate_flows t ~members ~ignore_groups))
+  let ok, reject =
+    verdict_of (Demand.fits config d) (fun () ->
+        flows_ok t (candidate_flows t ~members ~ignore_groups))
+  in
+  if Obs.journaling () then
+    Obs.event (Journal.Probe { kind = Journal.Host; ops = members; ok; reject });
+  count_probe ok
 
 let cheapest_hosting t ~members ?(ignore_groups = []) () =
   (* Demand and flows are config-independent: compute them once and scan
      the catalog with the cheap capacity test only. *)
   let d = Demand.of_group t.app members in
+  let flows_fit = flows_ok t (candidate_flows t ~members ~ignore_groups) in
   let found =
-    if not (flows_ok t (candidate_flows t ~members ~ignore_groups)) then None
+    if not flows_fit then None
     else
       List.find_opt
         (fun cfg -> Demand.fits cfg d)
         (Catalog.configs t.platform.Platform.catalog)
   in
+  if Obs.journaling () then begin
+    let reject =
+      if found <> None then None
+      else if not flows_fit then Some Journal.Link_exceeded
+      else Some Journal.No_config
+    in
+    Obs.event
+      (Journal.Probe
+         { kind = Journal.Catalog_scan; ops = members; ok = found <> None;
+           reject })
+  end;
   ignore (count_probe (found <> None));
   found
 
@@ -141,6 +167,9 @@ let acquire t ~config ~members =
     List.iter (fun i -> Ledger.add_operator t.ledger gid i) members;
     t.order <- gid :: t.order;
     Obs.incr "heur.acquire";
+    if Obs.journaling () then
+      Obs.event
+        (Journal.Acquire { gid; config = Catalog.label config; members });
     Ok gid
   end
 
@@ -157,11 +186,18 @@ let try_add t gid op =
     invalid_arg "Builder.try_add: operator already assigned";
   check_live t gid;
   let probe = Ledger.probe_add t.ledger gid op in
-  if
-    count_probe
-      (Demand.fits (Ledger.config t.ledger gid) probe.Ledger.demand
-      && flows_ok t probe.Ledger.pair_flows)
-  then begin
+  let ok, reject =
+    verdict_of
+      (Demand.fits (Ledger.config t.ledger gid) probe.Ledger.demand)
+      (fun () -> flows_ok t probe.Ledger.pair_flows)
+  in
+  ignore (count_probe ok);
+  if Obs.journaling () then
+    Obs.event
+      (match reject with
+      | None -> Journal.Add_op { gid; op; upgrade = None }
+      | Some reject -> Journal.Reject_add { gid; op; reject });
+  if ok then begin
     Ledger.add_operator t.ledger gid op;
     count_try_add true
   end
@@ -171,34 +207,50 @@ let sell t gid =
   check_live t gid;
   Ledger.remove_proc t.ledger gid;
   t.order <- List.filter (fun id -> id <> gid) t.order;
-  Obs.incr "heur.sell"
+  Obs.incr "heur.sell";
+  if Obs.journaling () then Obs.event (Journal.Sell { gid })
 
 let try_absorb t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb: same group";
   check_live t winner;
   check_live t loser;
   let probe = Ledger.probe_merge t.ledger ~winner ~loser in
-  if
-    count_probe
-      (Demand.fits (Ledger.config t.ledger winner) probe.Ledger.demand
-      && flows_ok t probe.Ledger.pair_flows)
-  then begin
+  let ok, reject =
+    verdict_of
+      (Demand.fits (Ledger.config t.ledger winner) probe.Ledger.demand)
+      (fun () -> flows_ok t probe.Ledger.pair_flows)
+  in
+  ignore (count_probe ok);
+  if Obs.journaling () then
+    Obs.event
+      (match reject with
+      | None -> Journal.Merge_groups { winner; loser; upgrade = None }
+      | Some reject -> Journal.Reject_merge { winner; loser; reject });
+  if ok then begin
     Ledger.merge t.ledger ~winner ~loser;
     t.order <- List.filter (fun id -> id <> loser) t.order;
     count_absorb true
   end
   else count_absorb false
 
+(* Returns the cheapest hosting configuration plus the rejection reason
+   when there is none (for the journal). *)
 let cheapest_for t probe =
+  let flows_fit = flows_ok t probe.Ledger.pair_flows in
   let found =
-    if not (flows_ok t probe.Ledger.pair_flows) then None
+    if not flows_fit then None
     else
       List.find_opt
         (fun cfg -> Demand.fits cfg probe.Ledger.demand)
         (Catalog.configs t.platform.Platform.catalog)
   in
   ignore (count_probe (found <> None));
-  found
+  let reject =
+    if found <> None then None
+    else if not flows_fit then Some Journal.Link_exceeded
+    else Some Journal.No_config
+  in
+  (found, reject)
 
 let try_add_upgrade t gid op =
   if Ledger.assignment t.ledger op <> None then
@@ -206,10 +258,19 @@ let try_add_upgrade t gid op =
   check_live t gid;
   let probe = Ledger.probe_add t.ledger gid op in
   match cheapest_for t probe with
-  | None -> count_try_add false
-  | Some cfg ->
+  | None, reject ->
+    if Obs.journaling () then begin
+      match reject with
+      | Some reject -> Obs.event (Journal.Reject_add { gid; op; reject })
+      | None -> ()
+    end;
+    count_try_add false
+  | Some cfg, _ ->
     Ledger.add_operator t.ledger gid op;
     Ledger.set_config t.ledger gid cfg;
+    if Obs.journaling () then
+      Obs.event
+        (Journal.Add_op { gid; op; upgrade = Some (Catalog.label cfg) });
     count_try_add true
 
 let try_absorb_upgrade t winner loser =
@@ -218,11 +279,21 @@ let try_absorb_upgrade t winner loser =
   check_live t loser;
   let probe = Ledger.probe_merge t.ledger ~winner ~loser in
   match cheapest_for t probe with
-  | None -> count_absorb false
-  | Some cfg ->
+  | None, reject ->
+    if Obs.journaling () then begin
+      match reject with
+      | Some reject -> Obs.event (Journal.Reject_merge { winner; loser; reject })
+      | None -> ()
+    end;
+    count_absorb false
+  | Some cfg, _ ->
     Ledger.merge t.ledger ~winner ~loser;
     Ledger.set_config t.ledger winner cfg;
     t.order <- List.filter (fun id -> id <> loser) t.order;
+    if Obs.journaling () then
+      Obs.event
+        (Journal.Merge_groups
+           { winner; loser; upgrade = Some (Catalog.label cfg) });
     count_absorb true
 
 let sell_if_empty t gid =
@@ -238,7 +309,9 @@ let release_operator t op =
 
 let set_config t gid cfg =
   check_live t gid;
-  Ledger.set_config t.ledger gid cfg
+  Ledger.set_config t.ledger gid cfg;
+  if Obs.journaling () then
+    Obs.event (Journal.Reconfig { gid; config = Catalog.label cfg })
 
 let finalize t =
   if not (all_assigned t) then

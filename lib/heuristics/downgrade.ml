@@ -4,6 +4,7 @@ module Alloc = Insp_mapping.Alloc
 module Check = Insp_mapping.Check
 module Demand = Insp_mapping.Demand
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 let run app platform alloc =
   let catalog = platform.Platform.catalog in
@@ -24,10 +25,25 @@ let run app platform alloc =
         with
         | Some config ->
           Obs.incr "heur.downgrade.fitted";
+          if Obs.journaling () then begin
+            (* Labels, not float fields, decide "changed" — string
+               equality keeps float comparison out of the decision. *)
+            let from_config = Catalog.label (Alloc.proc alloc u).Alloc.config in
+            let to_config = Catalog.label config in
+            if not (String.equal from_config to_config) then
+              Obs.event (Journal.Downgrade { proc = u; from_config; to_config })
+          end;
           Alloc.with_config alloc u config
         | None ->
           (* keep the provisioned config; checker will flag *)
           Obs.incr "heur.downgrade.stuck";
+          if Obs.journaling () then
+            Obs.event
+              (Journal.Downgrade_stuck
+                 {
+                   proc = u;
+                   config = Catalog.label (Alloc.proc alloc u).Alloc.config;
+                 });
           alloc
       in
       shrink alloc (u + 1)

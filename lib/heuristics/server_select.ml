@@ -3,6 +3,8 @@ module Platform = Insp_platform.Platform
 module Servers = Insp_platform.Servers
 module Demand = Insp_mapping.Demand
 module Prng = Insp_util.Prng
+module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 type plan = (int * int) list array
 
@@ -58,6 +60,23 @@ let assign st u k l =
 
 let finish st = Array.map (List.sort compare) st.chosen
 
+(* One Download event per committed (group, object) pair, tagged with
+   the rule that chose the server and the candidate set it chose from;
+   one Download_failed when a rule proves the need unservable.  Guarded:
+   with no journaling sink neither the event nor the candidate list is
+   built. *)
+let note_download u k l ~rule ~candidates =
+  if Obs.journaling () then
+    Obs.event
+      (Journal.Download
+         { group = u; object_type = k; server = l; rule;
+           candidates = candidates () })
+
+let note_failed u k reason =
+  if Obs.journaling () then
+    Obs.event
+      (Journal.Download_failed { object_type = k; group = Some u; reason })
+
 let random rng app platform ~groups =
   let st = init app platform ~groups in
   let rec loop () =
@@ -70,10 +89,15 @@ let random rng app platform ~groups =
       in
       match capable with
       | [] ->
-        Error
-          (Printf.sprintf "no server can still provide o%d to processor %d" k u)
+        let msg =
+          Printf.sprintf "no server can still provide o%d to processor %d" k u
+        in
+        note_failed u k msg;
+        Error msg
       | _ ->
-        assign st u k (Prng.choose_list rng capable);
+        let l = Prng.choose_list rng capable in
+        note_download u k l ~rule:"random" ~candidates:(fun () -> capable);
+        assign st u k l;
         loop ())
   in
   loop ()
@@ -87,13 +111,17 @@ let sophisticated_core st =
         let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
         List.iter
           (fun (u, _) ->
-            if can_provide st l u k then assign st u k l
+            if can_provide st l u k then begin
+              note_download u k l ~rule:"exclusive" ~candidates:(fun () -> [ l ]);
+              assign st u k l
+            end
             else
-              raise
-                (Failed
-                   (Printf.sprintf
-                      "exclusive server S%d cannot sustain all downloads of o%d"
-                      l k)))
+              let msg =
+                Printf.sprintf
+                  "exclusive server S%d cannot sustain all downloads of o%d" l k
+              in
+              note_failed u k msg;
+              raise (Failed msg))
           needing)
       (Servers.exclusive_objects st.servers);
     (* Loop 2: saturate single-object servers. *)
@@ -103,7 +131,12 @@ let sophisticated_core st =
         | [ k ] ->
           let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
           List.iter
-            (fun (u, _) -> if can_provide st l u k then assign st u k l)
+            (fun (u, _) ->
+              if can_provide st l u k then begin
+                note_download u k l ~rule:"single_object"
+                  ~candidates:(fun () -> [ l ]);
+                assign st u k l
+              end)
             needing
         | _ -> ())
       (Servers.single_object_servers st.servers);
@@ -148,14 +181,17 @@ let sophisticated_core st =
                      if c <> 0 then c else compare a b)
             in
             match best with
-            | l :: _ -> assign st u k l
+            | l :: _ ->
+              note_download u k l ~rule:"ratio" ~candidates:(fun () -> best);
+              assign st u k l
             | [] ->
-              raise
-                (Failed
-                   (Printf.sprintf
-                      "no server has bandwidth left to provide o%d to \
-                       processor %d"
-                      k u)))
+              let msg =
+                Printf.sprintf
+                  "no server has bandwidth left to provide o%d to processor %d"
+                  k u
+              in
+              note_failed u k msg;
+              raise (Failed msg))
           needing)
       ordered;
     Ok (finish st)

@@ -5,6 +5,7 @@ module Check = Insp_mapping.Check
 module Cost = Insp_mapping.Cost
 module Prng = Insp_util.Prng
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 type heuristic = {
   name : string;
@@ -75,14 +76,38 @@ let run ?(seed = 0) heuristic app platform =
       (match result with Ok _ -> "heur.solve.ok" | Error _ -> "heur.solve.fail");
     result
   in
+  (* Journal guard computed once: [phase]/[failed] cost nothing when the
+     installed sink is not journaling. *)
+  let jn = Obs.journaling () in
+  let phase stage =
+    if jn then Obs.event (Journal.Phase { heuristic = heuristic.key; stage })
+  in
+  let failed status =
+    if jn then
+      Obs.event
+        (Journal.Outcome
+           {
+             heuristic = heuristic.key;
+             status;
+             cost = None;
+             n_procs = None;
+             procs = [];
+           })
+  in
   Obs.span ("solve." ^ heuristic.key) (fun () ->
       let rng = Prng.create seed in
+      phase "placement";
       match Obs.span "placement" (fun () -> heuristic.run rng app platform) with
-      | Error msg -> count (Error (Placement msg))
+      | Error msg ->
+        failed "placement_failed";
+        count (Error (Placement msg))
       | Ok builder -> (
         match Builder.finalize builder with
-        | Error msg -> count (Error (Placement msg))
+        | Error msg ->
+          failed "placement_failed";
+          count (Error (Placement msg))
         | Ok (groups, configs) -> (
+          phase "server_select";
           let selection =
             Obs.span "server_select" (fun () ->
                 if heuristic.randomized then
@@ -90,22 +115,41 @@ let run ?(seed = 0) heuristic app platform =
                 else Server_select.sophisticated app platform ~groups)
           in
           match selection with
-          | Error msg -> count (Error (Server_selection msg))
+          | Error msg ->
+            failed "server_select_failed";
+            count (Error (Server_selection msg))
           | Ok downloads -> (
             let alloc = Alloc.of_groups ~configs ~groups ~downloads in
+            phase "downgrade";
             let alloc =
               Obs.span "downgrade" (fun () -> Downgrade.run app platform alloc)
             in
+            phase "check";
             match Obs.span "check" (fun () -> Check.check app platform alloc) with
             | [] ->
-              count
-                (Ok
-                   {
-                     alloc;
-                     cost = Cost.of_alloc platform.Platform.catalog alloc;
-                     n_procs = Alloc.n_procs alloc;
-                   })
-            | violations -> count (Error (Validation (Check.explain violations)))))))
+              let cost = Cost.of_alloc platform.Platform.catalog alloc in
+              let n_procs = Alloc.n_procs alloc in
+              if jn then
+                (* [finalize] lists groups in acquisition order, which is
+                   the processor index order of [Alloc.of_groups] — so
+                   processor [i] came from builder group [group_ids.(i)],
+                   the link [explain] follows back into builder events. *)
+                Obs.event
+                  (Journal.Outcome
+                     {
+                       heuristic = heuristic.key;
+                       status = "feasible";
+                       cost = Some cost;
+                       n_procs = Some n_procs;
+                       procs =
+                         List.mapi
+                           (fun i gid -> (i, gid))
+                           (Builder.group_ids builder);
+                     });
+              count (Ok { alloc; cost; n_procs })
+            | violations ->
+              failed "infeasible";
+              count (Error (Validation (Check.explain violations)))))))
 
 let run_all ?(seed = 0) app platform =
   List.map (fun h -> (h, run ~seed h app platform)) all

@@ -35,6 +35,16 @@ let domain_spawn_sanctioned file =
   | [ "lib"; "experiments"; "par_sweep.ml" ] -> true
   | _ -> false
 
+(* D5 scope — the engine libraries whose decisions the journal records.
+   Printing is legitimate in the presentation layers (bin/, bench/,
+   test/, lib/experiments' figure/table rendering, lib/util's Table):
+   the rule only fires inside the engines, where stdout output would be
+   decision data bypassing Obs.Journal. *)
+let decision_output_scoped file =
+  match path_parts file with
+  | "lib" :: ("heuristics" | "lp" | "sim") :: _ -> true
+  | _ -> false
+
 exception Parse_error of string
 
 (* ------------------------------------------------------------------ *)
@@ -145,6 +155,7 @@ type ctx = {
   lib_util : bool;
   wall_ok : bool;
   domain_ok : bool;
+  decision_scoped : bool;
   suppress : Suppress.t;
   mutable sort_depth : int;
   mutable allow_stack : Rule.t list list;
@@ -180,6 +191,18 @@ let check_ident ctx loc path =
       (Printf.sprintf
          "wall-clock read %s is nondeterministic; timing belongs in bench/ \
           or the blessed Insp_obs.Clock"
+         (String.concat "." path))
+  | _ -> ());
+  (match path with
+  | ( [ ("print_string" | "print_endline" | "print_newline" | "print_char"
+       | "print_bytes" | "print_int" | "print_float") ]
+    | [ "Printf"; "printf" ]
+    | [ "Format"; ("printf" | "print_string" | "print_newline") ] )
+    when ctx.decision_scoped ->
+    report ctx Rule.D5 loc
+      (Printf.sprintf
+         "direct printing (%s) in an engine library; decision output must \
+          go through Obs.Journal events"
          (String.concat "." path))
   | _ -> ());
   (match path with
@@ -286,6 +309,7 @@ let lint_source ~file source =
       lib_util = under_lib_util file;
       wall_ok = wall_clock_sanctioned file;
       domain_ok = domain_spawn_sanctioned file;
+      decision_scoped = decision_output_scoped file;
       suppress;
       sort_depth = 0;
       allow_stack = [];

@@ -1,12 +1,13 @@
-type t = D1 | D2 | D3 | D4 | F1 | P1 | P2
+type t = D1 | D2 | D3 | D4 | D5 | F1 | P1 | P2
 
-let all = [ D1; D2; D3; D4; F1; P1; P2 ]
+let all = [ D1; D2; D3; D4; D5; F1; P1; P2 ]
 
 let id = function
   | D1 -> "D1"
   | D2 -> "D2"
   | D3 -> "D3"
   | D4 -> "D4"
+  | D5 -> "D5"
   | F1 -> "F1"
   | P1 -> "P1"
   | P2 -> "P2"
@@ -17,6 +18,7 @@ let of_string s =
   | "d2" -> Some D2
   | "d3" -> Some D3
   | "d4" -> Some D4
+  | "d5" -> Some D5
   | "f1" -> Some F1
   | "p1" -> Some P1
   | "p2" -> Some P2
@@ -31,6 +33,9 @@ let synopsis = function
   | D4 ->
     "Domain.spawn outside the deterministic sweep runner \
      (Insp_experiments.Par_sweep) risks nondeterministic interleavings"
+  | D5 ->
+    "direct printing inside an engine library; decision output must go \
+     through Obs.Journal"
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"

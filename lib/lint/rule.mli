@@ -11,12 +11,16 @@ type t =
   | D2  (** Hashtbl iteration feeding a list must be canonicalized *)
   | D3  (** no wall-clock reads ([Sys.time], [Unix.gettimeofday]) outside [bench/] *)
   | D4  (** no [Domain.spawn] outside [lib/experiments/par_sweep.ml] *)
+  | D5
+      (** no direct printing ([print_*], [Printf.printf], [Format.printf])
+          in the engine libraries [lib/heuristics], [lib/lp], [lib/sim] —
+          decision output goes through [Obs.Journal] *)
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
 
 val all : t list
-(** In report order: D1, D2, D3, D4, F1, P1, P2. *)
+(** In report order: D1, D2, D3, D4, D5, F1, P1, P2. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)

@@ -8,6 +8,7 @@ module Cost = Insp_mapping.Cost
 module Demand = Insp_mapping.Demand
 module Server_select = Insp_heuristics.Server_select
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 type result = {
   n_procs : int;
@@ -90,6 +91,9 @@ let solve ?(node_limit = 2_000_000) ?max_groups app platform =
           | _ ->
             Obs.mark "lp.exact.incumbent";
             Obs.gauge "lp.exact.incumbent" (float_of_int n_used);
+            if Obs.journaling () then
+              Obs.event_bounded ~category:"lp"
+                (Journal.Exact_incumbent { n_procs = n_used; nodes = !nodes });
             best :=
               Some
                 {

@@ -1,4 +1,5 @@
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 type t = {
   problem : Simplex.problem;
@@ -67,10 +68,16 @@ let solve ?(node_limit = 100_000) t =
           | None ->
             best := Some sol;
             Obs.mark "lp.bb.incumbent";
-            Obs.gauge "lp.bb.incumbent" sol.objective_value
+            Obs.gauge "lp.bb.incumbent" sol.objective_value;
+            if Obs.journaling () then
+              Obs.event_bounded ~category:"lp"
+                (Journal.Lp_incumbent { objective = sol.objective_value })
           | Some j ->
             let v = sol.values.(j) in
             let lo = Float.floor v in
+            if Obs.journaling () then
+              Obs.event_bounded ~category:"lp"
+                (Journal.Lp_branch { var = j; value = v; floor = lo });
             explore
               ({ Simplex.coeffs = unit_row n j 1.0; relation = Simplex.Le;
                  bound = lo }
@@ -91,6 +98,7 @@ let solve ?(node_limit = 100_000) t =
       | None -> if maximize then neg_infinity else infinity)
   in
   Obs.gauge "lp.bb.bound" bound;
+  if Obs.journaling () then Obs.event (Journal.Lp_bound { bound });
   {
     solution = !best;
     bound;

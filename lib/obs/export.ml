@@ -116,22 +116,8 @@ let text_report (o : Obs.t) =
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event JSON                                             *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
+(* String escaping is shared with the journal exporter (Jsonc) so both
+   emitters have the same — correct — canonical form. *)
 let json_ts v = Printf.sprintf "%.3f" v
 
 (* The JSON Array Format of the trace_event spec: one "X" (complete)
@@ -144,7 +130,7 @@ let chrome_trace (o : Obs.t) =
     if !first then first := false else Buffer.add_string buf ",\n";
     Buffer.add_string buf ("  {" ^ String.concat "," fields ^ "}")
   in
-  let str k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let str k v = Printf.sprintf "\"%s\":%s" k (Jsonc.string v) in
   let num k v = Printf.sprintf "\"%s\":%s" k v in
   Buffer.add_string buf "[\n";
   event
@@ -163,7 +149,7 @@ let chrome_trace (o : Obs.t) =
             str "name" name; str "cat" "span"; str "ph" "X";
             num "ts" (json_ts start_us); num "dur" (json_ts dur_us);
             num "pid" "0"; num "tid" "0";
-            Printf.sprintf "\"args\":{\"path\":\"%s\"}" (json_escape path);
+            Printf.sprintf "\"args\":{\"path\":%s}" (Jsonc.string path);
           ]
       | Span.Mark { name; path; ts_us; _ } ->
         if ts_us > !end_ts then end_ts := ts_us;
@@ -172,7 +158,7 @@ let chrome_trace (o : Obs.t) =
             str "name" name; str "cat" "mark"; str "ph" "i";
             num "ts" (json_ts ts_us); num "pid" "0"; num "tid" "0";
             str "s" "t";
-            Printf.sprintf "\"args\":{\"path\":\"%s\"}" (json_escape path);
+            Printf.sprintf "\"args\":{\"path\":%s}" (Jsonc.string path);
           ])
     (Span.events o.Obs.spans);
   List.iter

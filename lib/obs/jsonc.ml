@@ -1,0 +1,56 @@
+(* Canonical JSON fragment encoders shared by every JSON-emitting
+   exporter (Export.chrome_trace, Journal.to_jsonl).  "Canonical" means
+   the rendering is a pure function of the value: strings always escape
+   the same bytes the same way, floats render integers without an
+   exponent and everything else with the shortest %g form that
+   round-trips (falling back to the exact 17-digit form), so two
+   journals of the same decision sequence are byte-identical
+   (DESIGN.md §12). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string s = "\"" ^ escape s ^ "\""
+
+let int = string_of_int
+
+let bool b = if b then "true" else "false"
+
+(* JSON has no literal for non-finite floats; encode them as tagged
+   strings so the line stays parseable and the encoding deterministic. *)
+let float v =
+  if Float.is_nan v then "\"nan\""
+  else if not (Float.is_finite v) then
+    if v > 0.0 then "\"inf\"" else "\"-inf\""
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else begin
+    let short = Printf.sprintf "%.12g" v in
+    (* Bit-exact round-trip test, not a tolerance: the short form is
+       kept only when it denotes the very same float. *)
+    if Int64.equal (Int64.bits_of_float (float_of_string short))
+         (Int64.bits_of_float v)
+    then short
+    else Printf.sprintf "%.17g" v
+  end
+
+let int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ v) fields)
+  ^ "}"

@@ -12,9 +12,14 @@
    with no sharing; recorders are merged on the spawning domain via
    [absorb]. *)
 
-type t = { metrics : Metrics.t; spans : Span.t }
+type t = { metrics : Metrics.t; spans : Span.t; journal : Journal.t }
 
-let create () = { metrics = Metrics.create (); spans = Span.create () }
+let create () =
+  {
+    metrics = Metrics.create ();
+    spans = Span.create ();
+    journal = Journal.create ();
+  }
 
 let sink_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
@@ -23,9 +28,30 @@ let uninstall () = Domain.DLS.set sink_key None
 let active () = Domain.DLS.get sink_key
 let enabled () = Option.is_some (active ())
 
-let with_sink f =
+(* [?journal] defaults to inheriting the enclosing sink's journaling
+   state, so a nested [with_sink] (Par_sweep cells under a journaling
+   CLI run) keeps recording decisions.  Worker domains have no enclosing
+   sink in their DLS — Par_sweep captures the flag on the calling domain
+   and passes it explicitly. *)
+let with_sink ?journal ?journal_depth f =
   let prev = active () in
   let s = create () in
+  let inherit_on =
+    match prev with Some p -> Journal.recording p.journal | None -> false
+  in
+  let on = match journal with Some j -> j | None -> inherit_on in
+  if on then begin
+    let depth =
+      match journal_depth with
+      | Some d -> Some d
+      | None -> (
+        match prev with
+        | Some p when Journal.recording p.journal ->
+          Some (Journal.depth p.journal)
+        | _ -> None)
+    in
+    Journal.enable ?depth s.journal
+  end;
   install s;
   let result =
     Fun.protect ~finally:(fun () -> Domain.DLS.set sink_key prev) f
@@ -35,7 +61,9 @@ let with_sink f =
 let absorb r =
   match active () with
   | None -> ()
-  | Some s -> Metrics.merge ~into:s.metrics r.metrics
+  | Some s ->
+    Metrics.merge ~into:s.metrics r.metrics;
+    if Journal.recording s.journal then Journal.merge ~into:s.journal r.journal
 
 (* --- guarded instrumentation entry points --- *)
 
@@ -69,3 +97,28 @@ let span name f =
     (* Close over the entered recorder, not the global ref: [f] may
        swap the sink, and enter/exit must stay balanced regardless. *)
     Fun.protect ~finally:(fun () -> Span.exit s.spans (Clock.elapsed_us ())) f
+
+(* --- journal entry points --- *)
+
+(* Engines guard event construction with [if Obs.journaling () then ...]
+   so the no-sink (and sink-without-journal) cost is one DLS read and a
+   match — same zero-cost contract as the metric entry points. *)
+let journaling () =
+  match active () with
+  | None -> false
+  | Some s -> Journal.recording s.journal
+
+let journal_depth () =
+  match active () with
+  | None -> Journal.default_depth
+  | Some s -> Journal.depth s.journal
+
+let event ev =
+  match active () with
+  | None -> ()
+  | Some s -> Journal.record s.journal ev
+
+let event_bounded ~category ev =
+  match active () with
+  | None -> ()
+  | Some s -> Journal.record_bounded s.journal ~category ev

@@ -14,9 +14,10 @@
     deterministic computation; span {e durations} and mark timestamps
     are timing-only and must never feed back into results. *)
 
-type t = { metrics : Metrics.t; spans : Span.t }
+type t = { metrics : Metrics.t; spans : Span.t; journal : Journal.t }
 
 val create : unit -> t
+(** Fresh sink; the journal starts disabled (see {!with_sink}). *)
 
 val install : t -> unit
 (** Make [t] the current domain's sink. *)
@@ -27,17 +28,21 @@ val active : unit -> t option
 
 val enabled : unit -> bool
 
-val with_sink : (unit -> 'a) -> 'a * t
+val with_sink : ?journal:bool -> ?journal_depth:int -> (unit -> 'a) -> 'a * t
 (** Run [f] with a fresh sink installed, restoring the previously
     installed sink afterwards (also on exceptions) — nests safely;
-    returns [f]'s result and the filled sink. *)
+    returns [f]'s result and the filled sink.  [?journal] enables
+    decision journaling in the fresh sink; when omitted, journaling (and
+    its depth) is inherited from the enclosing sink of {e this} domain,
+    so nested scopes under a journaling run keep recording. *)
 
 val absorb : t -> unit
 (** [absorb r] merges [r]'s metrics into the currently installed sink
-    (see {!Metrics.merge}); a no-op when none is installed.  [r]'s
-    spans are dropped — they are timing-only by the determinism
-    contract, and a worker's span tree has no stable place in the
-    absorbing domain's. *)
+    (see {!Metrics.merge}), and — when the installed sink is journaling —
+    appends [r]'s journal events (see {!Journal.merge}).  A no-op when
+    none is installed.  [r]'s spans are dropped — they are timing-only
+    by the determinism contract, and a worker's span tree has no stable
+    place in the absorbing domain's. *)
 
 (** {1 Guarded entry points} — no-ops when no sink is installed. *)
 
@@ -53,3 +58,23 @@ val mark : string -> unit
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a span; exception-safe. *)
+
+(** {1 Journal entry points}
+
+    Call sites guard event construction with
+    [if Obs.journaling () then Obs.event (...)] so that with no sink —
+    or a sink that is not journaling — the cost is one domain-local
+    read, with no event allocation. *)
+
+val journaling : unit -> bool
+(** The installed sink, if any, is recording decision events. *)
+
+val journal_depth : unit -> int
+(** Per-category depth cap of the installed sink's journal
+    ({!Journal.default_depth} when none is installed). *)
+
+val event : Journal.event -> unit
+
+val event_bounded : category:string -> Journal.event -> unit
+(** {!Journal.record_bounded}: capped per [category] by the journal's
+    depth. *)

@@ -87,6 +87,8 @@ let fits config ~speed ~bandwidth =
 let cheapest_satisfying t ~speed ~bandwidth =
   List.find_opt (fun c -> fits c ~speed ~bandwidth) (configs t)
 
+let label c = Printf.sprintf "cpu%.0f/nic%.0f" c.cpu.speed c.nic.bandwidth
+
 let pp_config ppf c =
   Format.fprintf ppf "cpu %.0f Mops/s + nic %.0f MB/s" c.cpu.speed
     c.nic.bandwidth

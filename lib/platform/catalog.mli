@@ -54,5 +54,10 @@ val cheapest_satisfying : t -> speed:float -> bandwidth:float -> config option
 val fits : config -> speed:float -> bandwidth:float -> bool
 (** Capacity test used both by provisioning and by downgrading. *)
 
+val label : config -> string
+(** Compact stable identifier, e.g. ["cpu11720/nic125"] — used by the
+    decision journal, where configurations are compared and rendered as
+    strings. *)
+
 val pp_config : Format.formatter -> config -> unit
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,7 @@ module Servers = Insp_platform.Servers
 module Alloc = Insp_mapping.Alloc
 module Heap = Insp_util.Heap
 module Obs = Insp_obs.Obs
+module Journal = Insp_obs.Journal
 
 type report = {
   sim_time : float;
@@ -134,8 +135,26 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
     !tiny.(!n_tiny) <- fid;
     incr n_tiny
   in
+  (* Scheduling events are journaled only when a journaling sink is
+     installed; the flag is read once so the hot loop pays a single
+     boolean test per candidate site.  The "sim" category is depth
+     bounded (--journal-depth): only the opening of a run is recorded. *)
+  let jn = Obs.journaling () in
+  let now = ref 0.0 in
+  let flow_labels f =
+    ( (match f.kind with Message _ -> "msg" | Download _ -> "dl"),
+      match f.src with
+      | Proc u -> Printf.sprintf "p%d" u
+      | Server l -> Printf.sprintf "s%d" l )
+  in
   let start_flow f =
     incr n_flows_started;
+    if jn then begin
+      let kind, src = flow_labels f in
+      Obs.event_bounded ~category:"sim"
+        (Journal.Sim_flow_start
+           { t = !now; kind; src; dst = f.dst; size = f.size })
+    end;
     rates_dirty := true;
     let dst_card = constraint_of (`Proc_card f.dst) (nic f.dst) in
     let ms =
@@ -181,7 +200,6 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
            else arrived.(op).(child_slot op c) > t)
          children.(op)
   in
-  let now = ref 0.0 in
   let dispatch () =
     (* Start an evaluation on every idle processor that has a ready
        operator (lowest pending result first, then operator id). *)
@@ -200,6 +218,10 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
         | None -> ()
         | Some op ->
           computing.(u) <- true;
+          if jn then
+            Obs.event_bounded ~category:"sim"
+              (Journal.Sim_dispatch
+                 { t = !now; proc = u; op; result = completed.(op) + 1 });
           let duration = App.work app op /. speed u in
           busy_until_accum.(u) <- busy_until_accum.(u) +. duration;
           Heap.push events (!now +. duration)
@@ -248,6 +270,11 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
       arrival_bumped := true
     | Download _ -> ());
     incr n_flows_completed;
+    if jn then begin
+      let kind, src = flow_labels f in
+      Obs.event_bounded ~category:"sim"
+        (Journal.Sim_flow_done { t = !now; kind; src; dst = f.dst })
+    end;
     !flow_by_fid.(fid) <- None;
     rates_dirty := true;
     Fair_share_inc.remove_flow fs fid

@@ -206,6 +206,54 @@ let test_d4_suppressed () =
 |})
 
 (* ------------------------------------------------------------------ *)
+(* D5: direct printing inside an engine library                        *)
+
+let d5_src = {|let report u = Printf.printf "bought processor %d\n" u
+|}
+
+let test_d5_positive () =
+  check_reports "D5 fires on Printf.printf in lib/heuristics"
+    [
+      "lib/heuristics/fixture.ml:1:15: [D5] direct printing (Printf.printf) \
+       in an engine library; decision output must go through Obs.Journal \
+       events";
+    ]
+    (lint ~file:"lib/heuristics/fixture.ml" d5_src);
+  check_reports "D5 fires on print_endline in lib/lp"
+    [
+      "lib/lp/fixture.ml:1:9: [D5] direct printing (print_endline) in an \
+       engine library; decision output must go through Obs.Journal events";
+    ]
+    (lint ~file:"lib/lp/fixture.ml" {|let () = print_endline "node"
+|});
+  check_reports "D5 fires on Format.printf in lib/sim"
+    [
+      "lib/sim/fixture.ml:1:9: [D5] direct printing (Format.printf) in an \
+       engine library; decision output must go through Obs.Journal events";
+    ]
+    (lint ~file:"lib/sim/fixture.ml" {|let () = Format.printf "t=%f@." t
+|})
+
+let test_d5_negative () =
+  (* Presentation layers are out of scope: the CLI, the figure/table
+     rendering in lib/experiments, and every other library. *)
+  check_reports "bin/ may print" [] (lint ~file:"bin/insp_cli.ml" d5_src);
+  check_reports "lib/experiments figure rendering may print" []
+    (lint ~file:"lib/experiments/figure.ml" d5_src);
+  check_reports "other libraries may print" []
+    (lint ~file:"lib/util/table.ml" d5_src);
+  check_reports "sprintf into a buffer is fine" []
+    (lint ~file:"lib/heuristics/fixture.ml"
+       {|let msg u = Printf.sprintf "group %d" u
+|})
+
+let test_d5_suppressed () =
+  check_reports "attribute suppression" []
+    (lint ~file:"lib/sim/fixture.ml"
+       {|let () = (Printf.printf "dbg %d" n [@lint.allow "d5"])
+|})
+
+(* ------------------------------------------------------------------ *)
 (* F1: float equality / polymorphic compare                            *)
 
 let test_f1_positive () =
@@ -401,6 +449,12 @@ let () =
           Alcotest.test_case "positive" `Quick test_d4_positive;
           Alcotest.test_case "negative" `Quick test_d4_negative;
           Alcotest.test_case "suppressed" `Quick test_d4_suppressed;
+        ] );
+      ( "d5",
+        [
+          Alcotest.test_case "positive" `Quick test_d5_positive;
+          Alcotest.test_case "negative" `Quick test_d5_negative;
+          Alcotest.test_case "suppressed" `Quick test_d5_suppressed;
         ] );
       ( "f1",
         [
