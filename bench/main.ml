@@ -307,6 +307,35 @@ let journal_overhead_entry ~quick () =
   Insp.Obs_metrics.set_gauge m "journal.wall_on_ms" (on_s *. 1e3);
   ("journal.overhead", on_s *. float_of_int reps, recorder)
 
+(* ------------------------------------------------------------------ *)
+(* Online service throughput: the serve event loop                      *)
+
+(* One shared-substrate pass over the default 1000-application stream
+   (admission solve + ledger probe per arrival, reclamation per
+   departure).  The admitted/rejected counters ride along in the JSON
+   row so bench-compare flags behavioural drift, not just wall time. *)
+let serve_entry ~quick () =
+  line "serve loop (shared substrate, 1k-application stream)";
+  let n_apps = if quick then 120 else 1000 in
+  let spec = Insp.Serve_stream.make ~n_apps ~seed:1 () in
+  let events = Insp.Serve_stream.events spec in
+  let params =
+    Insp.Serve.make_params
+      ~base:(Insp.Config.make ~n_operators:60 ~seed:1 ())
+      ~proc_budget:128 ~card_scale:0.08 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let state, recorder =
+    Insp.Obs.with_sink (fun () -> Insp.Serve.run params events)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let totals = Insp.Serve.totals state in
+  Printf.printf "%d events: admitted %d, rejected %d (%.1f%%) in %.2f s\n%!"
+    (List.length events) totals.Insp.Serve.admitted totals.Insp.Serve.rejected
+    (100.0 *. Insp.Serve.rejection_rate totals)
+    wall_s;
+  ("serve.1k_events", wall_s, recorder)
+
 let solve_suite inst () =
   ignore
     (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
@@ -452,7 +481,9 @@ let () =
     if ids = [] then Insp.Suite.all_ids @ [ "catalog" ] else ids
   in
   let results = List.filter_map (run_experiment ~quick ~jobs) ids in
-  let results = results @ [ journal_overhead_entry ~quick () ] in
+  let results =
+    results @ [ journal_overhead_entry ~quick (); serve_entry ~quick () ]
+  in
   (match json_file with
   | Some file ->
     Insp.Obs_export.save file (bench_json ~quick results);

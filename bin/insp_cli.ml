@@ -556,6 +556,223 @@ let rewrite_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let print_serve_summary state =
+  let table =
+    Insp.Table.create
+      ~title:
+        (Printf.sprintf "serve: %s tenancy"
+           (Insp.Serve.tenancy_label (Insp.Serve.params state).Insp.Serve.tenancy))
+      [
+        ("tenant", Insp.Table.Left);
+        ("admitted", Insp.Table.Right);
+        ("rejected", Insp.Table.Right);
+        ("reject %", Insp.Table.Right);
+        ("departed", Insp.Table.Right);
+        ("live", Insp.Table.Right);
+        ("purchased ($)", Insp.Table.Right);
+        ("refunded ($)", Insp.Table.Right);
+        ("net ($)", Insp.Table.Right);
+      ]
+  in
+  let row label (s : Insp.Serve.tenant_summary) =
+    Insp.Table.add_row table
+      [
+        label;
+        string_of_int s.Insp.Serve.admitted;
+        string_of_int s.rejected;
+        Printf.sprintf "%.1f" (100.0 *. Insp.Serve.rejection_rate s);
+        string_of_int s.departed;
+        string_of_int s.live;
+        Printf.sprintf "%.0f" s.purchased;
+        Printf.sprintf "%.0f" s.refunded;
+        Printf.sprintf "%.0f" s.net_cost;
+      ]
+  in
+  List.iter
+    (fun (s : Insp.Serve.tenant_summary) ->
+      row (string_of_int s.Insp.Serve.tenant) s)
+    (Insp.Serve.summary state);
+  Insp.Table.add_separator table;
+  row "all" (Insp.Serve.totals state);
+  Insp.Table.print table
+
+let serve_cmd =
+  let apps =
+    Arg.(
+      value & opt int 1000
+      & info [ "apps" ] ~docv:"N" ~doc:"Applications in the event stream.")
+  in
+  let tenants =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"T" ~doc:"Tenant count.")
+  in
+  let tenancy =
+    let doc =
+      "Tenancy model: $(b,shared) (one pool) or $(b,static) (fixed 1/T \
+       partition of processors and server cards per tenant)."
+    in
+    let model =
+      Arg.enum
+        [ ("shared", Insp.Serve.Shared); ("static", Insp.Serve.Static_slicing) ]
+    in
+    Arg.(value & opt model Insp.Serve.Shared & info [ "tenancy" ] ~docv:"MODEL" ~doc)
+  in
+  let proc_budget =
+    Arg.(
+      value & opt int 96
+      & info [ "proc-budget" ] ~docv:"P"
+          ~doc:"Platform-wide cap on concurrently allocated processors.")
+  in
+  let card_scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "card-scale" ] ~docv:"F"
+          ~doc:"Scale server card bandwidths (values below 1 make cards a \
+                contended resource under co-tenancy).")
+  in
+  let resale =
+    Arg.(
+      value & opt float 0.5
+      & info [ "resale" ] ~docv:"F"
+          ~doc:"Fraction of an application's cost refunded on departure.")
+  in
+  let reopt =
+    Arg.(
+      value & flag
+      & info [ "reopt" ]
+          ~doc:"Re-optimize the departing tenant's survivors after each \
+                departure.")
+  in
+  let journal_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write the admit/reject/depart decision journal (canonical \
+                JSONL).")
+  in
+  let dump_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:"Write the canonical final-state dump (live applications, \
+                residual capacity, accounts).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Run the stream twice and require byte-identical journals and \
+                state dumps.")
+  in
+  let run seed apps tenants tenancy proc_budget card_scale resale reopt
+      heuristic journal_out dump_out verify trace metrics =
+    let key = if heuristic = "all" then "sbu" else heuristic in
+    match Insp.Solve.find key with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ key);
+      exit_unknown_name
+    | Some h ->
+      let spec =
+        Insp.Serve_stream.make ~n_apps:apps ~n_tenants:tenants ~seed ()
+      in
+      let params =
+        Insp.Serve.make_params
+          ~base:(Insp.Config.make ~n_operators:60 ~seed ())
+          ~tenancy ~n_tenants:tenants ~proc_budget ~card_scale ~heuristic:h
+          ~resale ~reoptimize:reopt ()
+      in
+      let events = Insp.Serve_stream.events spec in
+      let once () =
+        let state, recorder =
+          Insp.Obs.with_sink ~journal:true (fun () ->
+              Insp.Serve.run params events)
+        in
+        Journal.set_manifest recorder.Insp.Obs.journal
+          {
+            Journal.m_seed = seed;
+            m_config_hash =
+              Journal.hash_hex
+                (Format.asprintf "%a" Insp.Config.pp params.Insp.Serve.base);
+            m_heuristic = key;
+            m_args =
+              [
+                ("apps", string_of_int apps);
+                ("tenants", string_of_int tenants);
+                ("tenancy", Insp.Serve.tenancy_label tenancy);
+                ("proc-budget", string_of_int proc_budget);
+                ("card-scale", Printf.sprintf "%g" card_scale);
+                ("resale", Printf.sprintf "%g" resale);
+                ("reopt", string_of_bool reopt);
+              ];
+          };
+        (state, recorder)
+      in
+      let state, recorder = once () in
+      let jsonl = Journal.to_jsonl recorder.Insp.Obs.journal in
+      let dump = Insp.Serve.dump_state state in
+      let verify_code =
+        if not verify then 0
+        else begin
+          let state2, recorder2 = once () in
+          let jsonl2 = Journal.to_jsonl recorder2.Insp.Obs.journal in
+          match Journal.diff jsonl jsonl2 with
+          | Some d ->
+            Format.printf "serve verify: FAILED (journal)@.";
+            print_divergence d;
+            exit_infeasible
+          | None -> (
+            match Journal.diff dump (Insp.Serve.dump_state state2) with
+            | Some d ->
+              Format.printf "serve verify: FAILED (state dump)@.";
+              print_divergence d;
+              exit_infeasible
+            | None ->
+              Format.printf
+                "serve verify: OK (%d journal events, byte-identical)@."
+                (Journal.length recorder.Insp.Obs.journal);
+              0)
+        end
+      in
+      print_serve_summary state;
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path jsonl;
+          Format.printf "wrote decision journal to %s (%d events)@." path
+            (Journal.length recorder.Insp.Obs.journal))
+        journal_out;
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path dump;
+          Format.printf "wrote state dump to %s@." path)
+        dump_out;
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path (Insp.Obs_export.chrome_trace recorder);
+          Format.printf "wrote Chrome trace to %s@." path)
+        trace;
+      Option.iter
+        (fun path ->
+          Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
+          Format.printf "wrote metrics CSV to %s@." path)
+        metrics;
+      verify_code
+  in
+  let term =
+    Term.(
+      const run $ seed $ apps $ tenants $ tenancy $ proc_budget $ card_scale
+      $ resale $ reopt $ heuristic_arg $ journal_out $ dump_out $ verify
+      $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the persistent multi-tenant allocation service over a \
+          deterministic stream of application arrivals and departures \
+          (admission control, sell-back, per-tenant accounting).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* catalog                                                             *)
 
 let catalog_cmd =
@@ -738,7 +955,7 @@ let main =
   Cmd.group info
     [
       solve_cmd; simulate_cmd; sweep_cmd; exact_cmd; multi_cmd; rewrite_cmd;
-      catalog_cmd; journal_cmd; explain_cmd;
+      serve_cmd; catalog_cmd; journal_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -81,6 +81,10 @@ module Dag_runtime = Insp_multi.Dag_runtime
 (* Mutable-application extension (paper §6 future work) *)
 module Rewrite = Insp_rewrite.Rewrite
 
+(* Online multi-tenant allocation service *)
+module Serve = Insp_serve.Serve
+module Serve_stream = Insp_serve.Stream
+
 (* Workloads and experiments *)
 module Config = Insp_workload.Config
 module Instance = Insp_workload.Instance

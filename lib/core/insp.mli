@@ -94,6 +94,11 @@ module Dag_runtime = Insp_multi.Dag_runtime
 
 module Rewrite = Insp_rewrite.Rewrite
 
+(** {1 Online multi-tenant allocation service} *)
+
+module Serve = Insp_serve.Serve
+module Serve_stream = Insp_serve.Stream
+
 (** {1 Workloads and experiments} *)
 
 module Config = Insp_workload.Config

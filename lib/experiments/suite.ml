@@ -372,9 +372,79 @@ let sim_validation ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 20; 60 ]) () =
   List.iter (Table.add_row table) rows;
   Table.render table
 
+let serve_tenancy ?(seeds = [ 1; 2; 3 ]) ?(n_apps = 1000) () =
+  let module Serve = Insp_serve.Serve in
+  let module Stream = Insp_serve.Stream in
+  (* Budget and card scale chosen so both shared resources bind on the
+     default stream: the processor budget and (scaled) server cards each
+     cause a visible share of the rejections. *)
+  let variants =
+    [
+      ("static", Serve.Static_slicing, false);
+      ("shared", Serve.Shared, false);
+      ("shared+reopt", Serve.Shared, true);
+    ]
+  in
+  let grid =
+    List.concat_map
+      (fun v -> List.map (fun seed -> (v, seed)) seeds)
+      variants
+  in
+  let totals =
+    Par_sweep.map
+      (fun ((_, tenancy, reoptimize), seed) ->
+        let spec = Stream.make ~n_apps ~seed () in
+        let params =
+          Serve.make_params
+            ~base:(Config.make ~n_operators:60 ~seed ())
+            ~tenancy ~proc_budget:128 ~card_scale:0.08 ~reoptimize ()
+        in
+        Serve.totals (Serve.run params (Stream.events spec)))
+      grid
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "[serve] online multi-tenant service: %d-application streams, \
+            mean over seeds {%s}"
+           n_apps
+           (String.concat "," (List.map string_of_int seeds)))
+      [
+        ("model", Table.Left);
+        ("admitted", Table.Right);
+        ("rejected", Table.Right);
+        ("reject %", Table.Right);
+        ("net cost ($)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (label, _, _) ->
+      let mine =
+        List.filter_map
+          (fun (((l, _, _), _), tot) ->
+            if l = label then Some tot else None)
+          (List.combine grid totals)
+      in
+      let k = float_of_int (List.length mine) in
+      let meanf f = List.fold_left (fun a s -> a +. f s) 0.0 mine /. k in
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.1f"
+            (meanf (fun s -> float_of_int s.Insp_serve.Serve.admitted));
+          Printf.sprintf "%.1f"
+            (meanf (fun s -> float_of_int s.Insp_serve.Serve.rejected));
+          Printf.sprintf "%.1f"
+            (meanf (fun s -> 100.0 *. Serve.rejection_rate s));
+          Printf.sprintf "%.0f" (meanf (fun s -> s.Insp_serve.Serve.net_cost));
+        ])
+    variants;
+  Table.render table
+
 let all_ids =
   [ "fig2a"; "fig2b"; "fig3"; "fig3-n20"; "large"; "lowfreq"; "rates";
-    "ilp"; "sharing"; "rewrite"; "replication"; "simcheck" ]
+    "ilp"; "sharing"; "rewrite"; "replication"; "serve"; "simcheck" ]
 
 let run_by_id ?(quick = false) ?(seed = 1) ?(jobs = 1) id =
   let seeds = List.init (if quick then 2 else 5) (fun i -> seed + i) in
@@ -412,6 +482,10 @@ let run_by_id ?(quick = false) ?(seed = 1) ?(jobs = 1) id =
       else [ (1, 1); (1, 2); (2, 2); (3, 3); (4, 4) ]
     in
     Some (Figure.render (Ablations.replication ~seeds ~copy_ranges ()))
+  | "serve" ->
+    let n_apps = if quick then 120 else 1000 in
+    let seeds = List.init (if quick then 1 else 3) (fun i -> seed + i) in
+    Some (serve_tenancy ~seeds ~n_apps ())
   | "simcheck" ->
     let ns = if quick then [ 20 ] else [ 20; 60 ] in
     let seeds = List.init (if quick then 1 else 3) (fun i -> seed + i) in

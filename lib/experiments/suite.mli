@@ -48,6 +48,12 @@ val sharing : ?seeds:int list -> ?n_apps_list:int list -> ?n:int -> unit -> Figu
     placed with and without common-subexpression sharing; series
     "No sharing" and "CSE sharing", x = number of applications. *)
 
+val serve_tenancy : ?seeds:int list -> ?n_apps:int -> unit -> string
+(** Extension (online service): static slicing vs shared substrate vs
+    shared-with-reoptimization on the {!Insp_serve} event stream;
+    reports mean admitted/rejected counts, rejection rate and net cost
+    over the seed list.  Rendered as its own table. *)
+
 val sim_validation : ?seeds:int list -> ?ns:int list -> unit -> string
 (** Extra (not in the paper): every feasible Subtree-bottom-up mapping is
     executed in the discrete-event runtime; reports achieved vs target
@@ -55,7 +61,7 @@ val sim_validation : ?seeds:int list -> ?ns:int list -> unit -> string
 
 val all_ids : string list
 (** In DESIGN.md order: fig2a fig2b fig3 fig3-n20 large lowfreq rates ilp
-    simcheck. *)
+    sharing rewrite replication serve simcheck. *)
 
 val run_by_id : ?quick:bool -> ?seed:int -> ?jobs:int -> string -> string option
 (** Rendered experiment output; [quick] shrinks seeds and sweep points

@@ -45,6 +45,16 @@ let decision_output_scoped file =
   | "lib" :: ("heuristics" | "lp" | "sim") :: _ -> true
   | _ -> false
 
+(* D6 scope — engine libraries whose outputs (violation lists, probes,
+   journals, allocations) must be bit-reproducible.  Elsewhere D2's
+   weaker "only when building a list" test applies; inside these
+   libraries ANY unsorted Hashtbl iteration is sanctioned, because even
+   a float sum accumulated in hash order changes observable bits. *)
+let hash_order_scoped file =
+  match path_parts file with
+  | "lib" :: ("mapping" | "heuristics" | "lp" | "sim" | "serve") :: _ -> true
+  | _ -> false
+
 exception Parse_error of string
 
 (* ------------------------------------------------------------------ *)
@@ -156,6 +166,7 @@ type ctx = {
   wall_ok : bool;
   domain_ok : bool;
   decision_scoped : bool;
+  hash_scoped : bool;
   suppress : Suppress.t;
   mutable sort_depth : int;
   mutable allow_stack : Rule.t list list;
@@ -231,6 +242,14 @@ let check_expr ctx e =
     (match head_ident f with
     | Some path -> (
       match hashtbl_iteration path with
+      | Some fn when ctx.sort_depth = 0 && ctx.hash_scoped ->
+        (* D6 subsumes D2 in engine scope: report once. *)
+        report ctx Rule.D6 e.pexp_loc
+          (Printf.sprintf
+             "Hashtbl.%s iterates in hash order inside an engine library; \
+              iterate a key-sorted snapshot (cf. Ledger.sorted_bindings) or \
+              pipe the result through List.sort"
+             fn)
       | Some fn
         when ctx.sort_depth = 0
              && List.exists (fun (_, a) -> builds_list a) args ->
@@ -310,6 +329,7 @@ let lint_source ~file source =
       wall_ok = wall_clock_sanctioned file;
       domain_ok = domain_spawn_sanctioned file;
       decision_scoped = decision_output_scoped file;
+      hash_scoped = hash_order_scoped file;
       suppress;
       sort_depth = 0;
       allow_stack = [];

@@ -1,6 +1,6 @@
-type t = D1 | D2 | D3 | D4 | D5 | F1 | P1 | P2
+type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2
 
-let all = [ D1; D2; D3; D4; D5; F1; P1; P2 ]
+let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2 ]
 
 let id = function
   | D1 -> "D1"
@@ -8,6 +8,7 @@ let id = function
   | D3 -> "D3"
   | D4 -> "D4"
   | D5 -> "D5"
+  | D6 -> "D6"
   | F1 -> "F1"
   | P1 -> "P1"
   | P2 -> "P2"
@@ -19,6 +20,7 @@ let of_string s =
   | "d3" -> Some D3
   | "d4" -> Some D4
   | "d5" -> Some D5
+  | "d6" -> Some D6
   | "f1" -> Some F1
   | "p1" -> Some P1
   | "p2" -> Some P2
@@ -36,6 +38,9 @@ let synopsis = function
   | D5 ->
     "direct printing inside an engine library; decision output must go \
      through Obs.Journal"
+  | D6 ->
+    "unsorted Hashtbl iteration inside an engine library; iterate a \
+     key-sorted snapshot so hash order cannot reach observable state"
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"

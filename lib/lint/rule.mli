@@ -15,12 +15,19 @@ type t =
       (** no direct printing ([print_*], [Printf.printf], [Format.printf])
           in the engine libraries [lib/heuristics], [lib/lp], [lib/sim] —
           decision output goes through [Obs.Journal] *)
+  | D6
+      (** no unsorted [Hashtbl.fold]/[iter]/[to_seq] in the engine
+          libraries [lib/mapping], [lib/heuristics], [lib/lp], [lib/sim],
+          [lib/serve] — even an order-insensitive-looking fold (a float
+          sum) changes observable bits with hash order; iterate a
+          key-sorted snapshot instead.  Strictly stronger than [D2]
+          inside that scope (and reported instead of it). *)
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
 
 val all : t list
-(** In report order: D1, D2, D3, D4, D5, F1, P1, P2. *)
+(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)

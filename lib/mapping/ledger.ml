@@ -65,6 +65,14 @@ let n_procs t = Hashtbl.length t.procs
 let proc_ids t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.procs [] |> List.sort compare
 
+(* Deterministic iteration: hash order must never reach an observable
+   output (violation lists, probes, float sums), so every fold/iter over
+   a live table below goes through a key-sorted snapshot.  Lint rule D6
+   enforces this discipline in engine libraries. *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let mem_proc t u = Hashtbl.mem t.procs u
 let config t u = (proc t u).config
 let set_config t u cfg = (proc t u).config <- cfg
@@ -316,6 +324,10 @@ let nic_load t u =
 
 let compute_load t u = (proc t u).compute
 
+let card_load t l =
+  if not (valid_server t l) then invalid_arg "Ledger.card_load: bad server";
+  t.card_load.(l)
+
 (* Accumulate [w] against key [v] in a tiny assoc list. *)
 let acc_flow acc v w =
   let prev = Option.value ~default:0.0 (List.assoc_opt v acc) in
@@ -379,20 +391,23 @@ let probe_merge t ~winner ~loser =
      direction from the side that counted it. *)
   let comm_in = pw.comm_in -. in_wl +. (pl.comm_in -. out_wl) in
   let comm_out = pw.comm_out -. out_wl +. (pl.comm_out -. in_wl) in
+  (* Key-sorted snapshots keep the float sum and the pair_flows order
+     independent of hash state — a probe must hash identically across
+     runs and across ledgers that reached the same state differently. *)
   let download =
-    Hashtbl.fold
-      (fun k _ acc ->
+    List.fold_left
+      (fun acc (k, _) ->
         if Hashtbl.mem pw.needs k then acc else acc +. App.download_rate t.app k)
-      pl.needs pw.need_rate
+      pw.need_rate (sorted_bindings pl.needs)
   in
   let third_party =
     let acc = ref [] in
     let collect tbl =
-      Hashtbl.iter
-        (fun v f ->
+      List.iter
+        (fun (v, f) ->
           if v <> winner && v <> loser then
             acc := acc_flow !acc v (f.out_w +. f.in_w))
-        tbl
+        (sorted_bindings tbl)
     in
     collect pw.flows;
     collect pl.flows;
@@ -436,11 +451,11 @@ let proc_violations t u acc =
       if not (valid_server t l) || not (Servers.holds servers l k) then
         add (Check.Not_held { proc = u; object_type = k; server = l }))
     (downloads_list p);
-  Hashtbl.iter
-    (fun k ls ->
+  List.iter
+    (fun (k, ls) ->
       if List.length ls > 1 then
         add (Check.Duplicate_download { proc = u; object_type = k }))
-    p.dls;
+    (sorted_bindings p.dls);
   let config = p.config in
   if exceeds p.compute config.Catalog.cpu.Catalog.speed then
     add
@@ -451,8 +466,8 @@ let proc_violations t u acc =
     add
       (Check.Nic_overload
          { proc = u; load = nic; capacity = config.Catalog.nic.Catalog.bandwidth });
-  Hashtbl.iter
-    (fun k ls ->
+  List.iter
+    (fun (_, ls) ->
       List.iter
         (fun l ->
           if valid_server t l then
@@ -467,9 +482,8 @@ let proc_violations t u acc =
                      capacity = t.platform.Platform.server_link;
                    })
             | Some _ | None -> ())
-        ls;
-      ignore k)
-    p.dls
+        ls)
+    (sorted_bindings p.dls)
 
 let server_card_violations t servers_touched acc =
   let add v = acc := v :: !acc in
@@ -492,8 +506,8 @@ let pair_violations t us acc =
   List.iter
     (fun u ->
       if mem_proc t u then
-        Hashtbl.iter
-          (fun v f ->
+        List.iter
+          (fun (v, f) ->
             let a = min u v and b = max u v in
             if not (Hashtbl.mem seen (a, b)) then begin
               Hashtbl.replace seen (a, b) ();
@@ -508,7 +522,7 @@ let pair_violations t us acc =
                        capacity = t.platform.Platform.proc_link;
                      })
             end)
-          (proc t u).flows)
+          (sorted_bindings (proc t u).flows))
     us
 
 (* Duplicate-entry-free: Server_link_overload for (l, u) is only emitted
@@ -534,11 +548,9 @@ let violations_touching t us =
     List.concat_map
       (fun u ->
         if mem_proc t u then
-          Hashtbl.fold
-            (fun k ls ks ->
-              ignore k;
-              List.filter (valid_server t) ls @ ks)
-            (proc t u).dls []
+          List.concat_map
+            (fun (_, ls) -> List.filter (valid_server t) ls)
+            (sorted_bindings (proc t u).dls)
         else [])
       us
     |> List.sort_uniq compare

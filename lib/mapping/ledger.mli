@@ -82,6 +82,12 @@ val nic_load : t -> proc_id -> float
 (** Checker semantics: planned download rate (which may double-count
     duplicated object types) + comm in + comm out. *)
 
+val card_load : t -> int -> float
+(** Aggregate planned download load (MB/s) against one server's card.
+    This is the per-server footprint a multi-tenant service must reclaim
+    when an application departs.  Raises [Invalid_argument] for servers
+    outside the platform range. *)
+
 val pair_flow : t -> proc_id -> proc_id -> float
 
 val probe_add : t -> proc_id -> int -> probe

@@ -72,6 +72,10 @@ type event =
       size : float;
     }
   | Sim_flow_done of { t : float; kind : string; src : string; dst : int }
+  | Serve_arrival of { app : int; tenant : int; ops : int; t : int }
+  | Serve_admit of { app : int; tenant : int; cost : float; n_procs : int }
+  | Serve_reject of { app : int; tenant : int; reason : string }
+  | Serve_depart of { app : int; tenant : int; refund : float }
   | Truncated of { category : string }
   | Note of { key : string; value : string }
 
@@ -294,6 +298,36 @@ let event_to_json ev =
         ("kind", Jsonc.string kind);
         ("src", Jsonc.string src);
         ("dst", Jsonc.int dst);
+      ]
+  | Serve_arrival { app; tenant; ops; t } ->
+    tag "serve_arrival"
+      [
+        ("app", Jsonc.int app);
+        ("tenant", Jsonc.int tenant);
+        ("ops", Jsonc.int ops);
+        ("t", Jsonc.int t);
+      ]
+  | Serve_admit { app; tenant; cost; n_procs } ->
+    tag "serve_admit"
+      [
+        ("app", Jsonc.int app);
+        ("tenant", Jsonc.int tenant);
+        ("cost", Jsonc.float cost);
+        ("procs", Jsonc.int n_procs);
+      ]
+  | Serve_reject { app; tenant; reason } ->
+    tag "serve_reject"
+      [
+        ("app", Jsonc.int app);
+        ("tenant", Jsonc.int tenant);
+        ("reason", Jsonc.string reason);
+      ]
+  | Serve_depart { app; tenant; refund } ->
+    tag "serve_depart"
+      [
+        ("app", Jsonc.int app);
+        ("tenant", Jsonc.int tenant);
+        ("refund", Jsonc.float refund);
       ]
   | Truncated { category } ->
     tag "truncated" [ ("category", Jsonc.string category) ]

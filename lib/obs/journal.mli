@@ -70,6 +70,11 @@ type event =
       size : float;
     }
   | Sim_flow_done of { t : float; kind : string; src : string; dst : int }
+  | Serve_arrival of { app : int; tenant : int; ops : int; t : int }
+      (** application [app] of [tenant] arrives at logical time [t] *)
+  | Serve_admit of { app : int; tenant : int; cost : float; n_procs : int }
+  | Serve_reject of { app : int; tenant : int; reason : string }
+  | Serve_depart of { app : int; tenant : int; refund : float }
   | Truncated of { category : string }
       (** depth cap hit for a bounded category; subsequent events of the
           category are dropped *)

@@ -13,12 +13,23 @@ type summary = {
 }
 
 val mean : float list -> float
-(** Arithmetic mean; 0 on the empty list. *)
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty list — the
+    same contract as every other aggregate here, so an empty sample set
+    fails loudly instead of reading as a zero cost. *)
 
 val variance : float list -> float
-(** Unbiased sample variance; 0 when fewer than two samples. *)
+(** Unbiased sample variance (n-1 denominator).  Raises
+    [Invalid_argument] on the empty list; returns 0 for a single sample
+    (the estimator is undefined at n = 1, and 0 is the conventional
+    "no observed spread" answer). *)
 
 val stddev : float list -> float
+(** [sqrt (variance samples)]; same domain as {!variance}. *)
+
+val sorted : float list -> float array
+(** Fresh array of the samples in ascending order via [Float.compare],
+    so NaN has a specified position (before every number) rather than
+    the unspecified result polymorphic compare gives on floats. *)
 
 val minimum : float list -> float
 (** Requires a non-empty list. *)
@@ -32,15 +43,18 @@ val median : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p samples] with [p] in [\[0, 100\]], linear interpolation
-    between closest ranks.  Requires a non-empty list. *)
+    between closest ranks.  Requires a non-empty, NaN-free list (raises
+    [Invalid_argument] otherwise). *)
 
 val summarize : float list -> summary
-(** Requires a non-empty list. *)
+(** Requires a non-empty, NaN-free list (raises [Invalid_argument]
+    otherwise). *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
 val geometric_mean : float list -> float
-(** Requires all samples strictly positive; 1.0 on the empty list. *)
+(** Requires a non-empty list of strictly positive samples; raises
+    [Invalid_argument] otherwise. *)
 
 val approx_eq : ?rel:float -> ?abs:float -> float -> float -> bool
 (** Tolerant float equality:

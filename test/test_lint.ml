@@ -254,6 +254,58 @@ let test_d5_suppressed () =
 |})
 
 (* ------------------------------------------------------------------ *)
+(* D6: any unsorted Hashtbl iteration inside an engine library         *)
+
+(* Order-insensitive under D2 (a float fold), but a float sum in hash
+   order still changes observable bits — inside engine scope D6 fires. *)
+let d6_src = {|let total tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0
+|}
+
+let test_d6_positive () =
+  check_reports "D6 fires on a float fold in lib/mapping"
+    [
+      "lib/mapping/fixture.ml:1:16: [D6] Hashtbl.fold iterates in hash \
+       order inside an engine library; iterate a key-sorted snapshot (cf. \
+       Ledger.sorted_bindings) or pipe the result through List.sort";
+    ]
+    (lint ~file:"lib/mapping/fixture.ml" d6_src);
+  check_reports "D6 fires on a side-effecting iter in lib/serve"
+    [
+      "lib/serve/fixture.ml:1:15: [D6] Hashtbl.iter iterates in hash order \
+       inside an engine library; iterate a key-sorted snapshot (cf. \
+       Ledger.sorted_bindings) or pipe the result through List.sort";
+    ]
+    (lint ~file:"lib/serve/fixture.ml"
+       {|let emit tbl = Hashtbl.iter (fun k v -> note k v) tbl
+|});
+  (* Inside engine scope D6 subsumes D2: one finding, tagged D6. *)
+  check_reports "list-building fold reports D6, not D2, in lib/heuristics"
+    [
+      "lib/heuristics/fixture.ml:1:14: [D6] Hashtbl.fold iterates in hash \
+       order inside an engine library; iterate a key-sorted snapshot (cf. \
+       Ledger.sorted_bindings) or pipe the result through List.sort";
+    ]
+    (lint ~file:"lib/heuristics/fixture.ml"
+       {|let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+|})
+
+let test_d6_negative () =
+  check_reports "sorted snapshot passes" []
+    (lint ~file:"lib/mapping/fixture.ml"
+       {|let bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+|});
+  (* Outside engine scope the weaker D2 contract applies: an
+     order-insensitive fold stays clean. *)
+  check_reports "float fold outside engine scope is D2/D6-clean" []
+    (lint ~file:"lib/obs/fixture.ml" d6_src)
+
+let test_d6_suppressed () =
+  check_reports "attribute suppression" []
+    (lint ~file:"lib/mapping/fixture.ml"
+       {|let total tbl = (Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.0 [@lint.allow "d6"])
+|})
+
+(* ------------------------------------------------------------------ *)
 (* F1: float equality / polymorphic compare                            *)
 
 let test_f1_positive () =
@@ -455,6 +507,12 @@ let () =
           Alcotest.test_case "positive" `Quick test_d5_positive;
           Alcotest.test_case "negative" `Quick test_d5_negative;
           Alcotest.test_case "suppressed" `Quick test_d5_suppressed;
+        ] );
+      ( "d6",
+        [
+          Alcotest.test_case "positive" `Quick test_d6_positive;
+          Alcotest.test_case "negative" `Quick test_d6_negative;
+          Alcotest.test_case "suppressed" `Quick test_d6_suppressed;
         ] );
       ( "f1",
         [

@@ -112,11 +112,29 @@ let test_stats_known () =
   Helpers.alco_float "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ])
 
 let test_stats_empty () =
-  Helpers.alco_float "mean empty" 0.0 (Stats.mean []);
+  Alcotest.check_raises "mean empty"
+    (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []));
+  Alcotest.check_raises "variance empty"
+    (Invalid_argument "Stats.variance: empty list") (fun () ->
+      ignore (Stats.variance []));
   Helpers.alco_float "variance singleton" 0.0 (Stats.variance [ 5.0 ]);
   Alcotest.check_raises "median empty"
     (Invalid_argument "Stats.median: empty list") (fun () ->
-      ignore (Stats.median []))
+      ignore (Stats.median []));
+  Alcotest.check_raises "geomean empty"
+    (Invalid_argument "Stats.geometric_mean: empty list") (fun () ->
+      ignore (Stats.geometric_mean []));
+  Alcotest.check_raises "summarize nan"
+    (Invalid_argument "Stats.summarize: NaN sample") (fun () ->
+      ignore (Stats.summarize [ 1.0; Float.nan ]));
+  Alcotest.check_raises "percentile nan"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile 50.0 [ Float.nan ]));
+  (* Float.compare gives NaN a specified place in [sorted]. *)
+  let arr = Stats.sorted [ 2.0; Float.nan; 1.0 ] in
+  Alcotest.(check bool) "sorted puts nan first" true (Float.is_nan arr.(0));
+  Helpers.alco_float "sorted rest ordered" 1.0 arr.(1)
 
 let stats_mean_bounded =
   qtest "mean within min..max"
@@ -127,7 +145,7 @@ let stats_mean_bounded =
 
 let stats_stddev_nonneg =
   qtest "stddev >= 0"
-    QCheck.(list_of_size Gen.(0 -- 40) (float_bound_exclusive 1000.0))
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
     (fun l -> Stats.stddev l >= 0.0)
 
 let stats_summary_consistent =
