@@ -1,6 +1,6 @@
 # Development entry points.  `make check` is the tier-1 gate.
 
-.PHONY: check build test bench bench-json bench-compare lint lint-quick clean
+.PHONY: check build test bench bench-json bench-compare lint lint-quick lint-deep clean
 
 check:
 	dune build && dune runtest && $(MAKE) lint
@@ -12,8 +12,8 @@ test:
 	dune runtest
 
 # Static analysis (DESIGN.md §9): determinism & float-hygiene rules
-# D1-D3, F1, P1, P2 over the whole tree.  `lint-quick` restricts to
-# files changed per `git diff --name-only`.
+# D1-D6, F1, P1, P2 over the whole tree.  `lint-quick` restricts to
+# files changed or untracked per `git status --porcelain`.
 lint:
 	dune build bin/insp_lint.exe
 	dune exec bin/insp_lint.exe -- --baseline lint.baseline lib bin bench test
@@ -21,6 +21,14 @@ lint:
 lint-quick:
 	dune build bin/insp_lint.exe
 	dune exec bin/insp_lint.exe -- --baseline lint.baseline --quick lib bin bench test
+
+# Whole-program pass (DESIGN.md §14): builds the typedtrees first, then
+# runs T1 (static races), T2 (determinism taint) and T3 (dead exports)
+# on top of the per-file rules.  Without a fresh build the driver exits
+# 2 with a diagnostic pointing back here.
+lint-deep:
+	dune build @check bin/insp_lint.exe
+	dune exec bin/insp_lint.exe -- --deep --cmt-root _build/default --baseline lint.baseline lib bin bench test
 
 bench:
 	dune exec bench/main.exe -- --quick

@@ -336,6 +336,44 @@ let serve_entry ~quick () =
     wall_s;
   ("serve.1k_events", wall_s, recorder)
 
+(* ------------------------------------------------------------------ *)
+(* Lint wall time: per-file rules plus the whole-program deep pass      *)
+
+(* A synthetic row so bench-compare catches analysis slowdowns — the
+   deep pass (cmt load, call graph, effects, T1–T3) is bounded at ~2 s
+   for the whole repo (DESIGN.md §14).  The finding count rides along:
+   nonzero means the tree no longer lints clean.  Runs on whatever
+   typedtrees the surrounding build left under _build; without any
+   (bare source checkout) the deep half is skipped. *)
+let lint_entry ~quick:_ () =
+  line "lint (per-file rules + whole-program T1-T3)";
+  let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ] in
+  let t0 = Unix.gettimeofday () in
+  let shallow = Insp_lint.Driver.lint_roots roots in
+  let deep, units =
+    match Insp_lint.Cmt_loader.load ~root:"_build/default" () with
+    | loaded ->
+      let findings =
+        Insp_lint.Deep.analyze (Insp_lint.Callgraph.build loaded)
+        |> List.filter (fun f ->
+               List.exists
+                 (fun r ->
+                   String.starts_with ~prefix:(r ^ "/") f.Insp_lint.Rule.file)
+                 roots)
+      in
+      (findings, List.length loaded.Insp_lint.Cmt_loader.units)
+    | exception Insp_lint.Cmt_loader.Cmt_error _ -> ([], 0)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let findings = List.length shallow + List.length deep in
+  Printf.printf "%d finding(s) over %d compilation units in %.2f s\n%!"
+    findings units wall_s;
+  let recorder = Insp.Obs.create () in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.incr ~by:findings m "lint.findings";
+  Insp.Obs_metrics.incr ~by:units m "lint.units";
+  ("lint.full_repo", wall_s, recorder)
+
 let solve_suite inst () =
   ignore
     (Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
@@ -482,7 +520,12 @@ let () =
   in
   let results = List.filter_map (run_experiment ~quick ~jobs) ids in
   let results =
-    results @ [ journal_overhead_entry ~quick (); serve_entry ~quick () ]
+    results
+    @ [
+        journal_overhead_entry ~quick ();
+        serve_entry ~quick ();
+        lint_entry ~quick ();
+      ]
   in
   (match json_file with
   | Some file ->

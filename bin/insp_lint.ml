@@ -1,9 +1,11 @@
-(* CLI for the project linter (DESIGN.md §9).
+(* CLI for the project linter (DESIGN.md §9 and, for the deep pass, §14).
 
-     insp_lint [--format text|csv] [--baseline FILE] [--update-baseline]
-               [--quick] [DIR|FILE ...]
+     insp_lint [--format text|csv|json] [--baseline FILE] [--update-baseline]
+               [--quick] [--deep] [--cmt-root DIR] [--allow-stale]
+               [DIR|FILE ...]
 
-   Exit 0: clean (possibly via baseline); 1: new findings; 2: errors. *)
+   Exit 0: clean (possibly via baseline); 1: new findings; 2: errors
+   (including missing or stale typedtrees with --deep). *)
 
 module Driver = Insp_lint.Driver
 module Rule = Insp_lint.Rule
@@ -16,41 +18,46 @@ let usage =
       (List.map
          (fun r -> Printf.sprintf "  %s  %s" (Rule.id r) (Rule.synopsis r))
          Rule.all)
-  ^ "\n\nOptions:"
+  ^ "\n\n\
+     The T rules need typedtrees: build with `dune build @check` (or\n\
+     `make lint-deep`) and pass --deep.\n\n\
+     Options:"
 
-(* Files touched per git, for --quick.  Diff against HEAD so staged and
-   unstaged edits are both covered; untracked files are picked up too. *)
+(* Files touched per git, for --quick: one `git status --porcelain`
+   covers staged edits, unstaged edits and untracked files (including
+   whole untracked directories) in a single parseable form. *)
 let changed_files () =
-  let read cmd =
-    let ic = Unix.open_process_in cmd in
-    let rec go acc =
-      match In_channel.input_line ic with
-      | Some l when String.trim l <> "" -> go (String.trim l :: acc)
-      | Some _ -> go acc
-      | None -> acc
-    in
-    let lines = go [] in
-    ignore (Unix.close_process_in ic);
-    List.rev lines
+  let ic = Unix.open_process_in "git status --porcelain 2>/dev/null" in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> acc
   in
-  read "git diff --name-only HEAD 2>/dev/null"
-  @ read "git ls-files --others --exclude-standard 2>/dev/null"
-  |> List.map Driver.normalize
-  |> List.sort_uniq String.compare
+  let lines = go [] in
+  ignore (Unix.close_process_in ic);
+  Driver.paths_of_porcelain (List.rev lines)
 
 let () =
   let format = ref Driver.Text in
   let baseline = ref None in
   let update = ref false in
   let quick = ref false in
+  let deep = ref false in
+  let cmt_root = ref "_build/default" in
+  let allow_stale = ref false in
   let roots = ref [] in
   let specs =
     [
       ( "--format",
         Arg.Symbol
-          ( [ "text"; "csv" ],
-            fun s -> format := if s = "csv" then Driver.Csv else Driver.Text ),
-        " report format (default text)" );
+          ( [ "text"; "csv"; "json" ],
+            fun s ->
+              format :=
+                match s with
+                | "csv" -> Driver.Csv
+                | "json" -> Driver.Json
+                | _ -> Driver.Text ),
+        " report format (default text; json = one canonical object/line)" );
       ( "--baseline",
         Arg.String (fun s -> baseline := Some s),
         "FILE grandfathered findings; only new ones fail the run" );
@@ -59,7 +66,16 @@ let () =
         " rewrite the baseline file with the current findings" );
       ( "--quick",
         Arg.Set quick,
-        " only lint files changed per git diff --name-only" );
+        " only lint files changed per git status --porcelain" );
+      ( "--deep",
+        Arg.Set deep,
+        " add the whole-program T1-T3 pass over .cmt typedtrees" );
+      ( "--cmt-root",
+        Arg.Set_string cmt_root,
+        "DIR where to find .cmt files (default _build/default)" );
+      ( "--allow-stale",
+        Arg.Set allow_stale,
+        " tolerate sources newer than their .cmt (else exit 2)" );
     ]
   in
   Arg.parse specs (fun d -> roots := d :: !roots) usage;
@@ -77,4 +93,7 @@ let () =
          update_baseline = !update;
          roots;
          only;
+         deep = !deep;
+         cmt_root = !cmt_root;
+         allow_stale = !allow_stale;
        })

@@ -21,6 +21,7 @@
 
     See DESIGN.md §11. *)
 
+(* lint: allow t3 — documented default for manual sweep parallelism *)
 val default_jobs : unit -> int
 (** Ambient worker count for {!map} when [?jobs] is omitted; 1 unless
     inside {!with_jobs}.  Domain-local. *)

@@ -6,6 +6,7 @@
     Every experiment averages over several seeds; deterministic given
     the seed list. *)
 
+(* lint: allow t3 — experiment preset kept for manual runs *)
 val default_seeds : int list
 (** [1..5]. *)
 
@@ -23,10 +24,12 @@ val large_objects : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
 (** §5 text: large objects (450-530 MB); feasibility collapses beyond
     N ~ 45. *)
 
+(* lint: allow t3 — experiment preset kept for manual runs *)
 val low_frequency : ?seeds:int list -> ?ns:int list -> unit -> Figure.t
 (** §5 text: low download frequency (1/50 s); mappings mostly unchanged,
     cheaper network cards. *)
 
+(* lint: allow t3 — experiment preset kept for manual runs *)
 val rate_sweep : ?seeds:int list -> ?periods:float list -> ?n:int -> unit -> Figure.t
 (** §5 text: influence of the download rate; frequencies below 1/10 s
     stop affecting the solution.  The x axis is the refresh period in
@@ -48,6 +51,7 @@ val sharing : ?seeds:int list -> ?n_apps_list:int list -> ?n:int -> unit -> Figu
     placed with and without common-subexpression sharing; series
     "No sharing" and "CSE sharing", x = number of applications. *)
 
+(* lint: allow t3 — experiment preset kept for manual runs *)
 val serve_tenancy : ?seeds:int list -> ?n_apps:int -> unit -> string
 (** Extension (online service): static slicing vs shared substrate vs
     shared-with-reoptimization on the {!Insp_serve} event stream;

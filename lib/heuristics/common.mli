@@ -5,6 +5,7 @@ type style = [ `Best | `Cheapest ]
     the catalog's most expensive one (later downgraded) or the cheapest
     one that can host the operators. *)
 
+(* lint: allow t3 — mirrors the paper's operator-pairing notation; kept for parity *)
 val comm_partner : Insp_tree.App.t -> int -> int option
 (** The neighbour (operator child or parent) of an operator with the most
     demanding communication requirement on the connecting tree edge;

@@ -1,0 +1,23 @@
+(** The whole-program rules (DESIGN.md §14), evaluated over the
+    {!Callgraph} and {!Effects} substrate:
+
+    - {b T1} static race: a [Domain.spawn] closure transitively reaches
+      top-level mutable state (refs, tables, arrays…).  [Atomic.t] cells
+      are exempt (they are the sanctioned cross-domain primitive), and a
+      closure that mentions an unresolvable local function is treated
+      conservatively as the whole enclosing declaration.
+    - {b T2} determinism taint: a value exported by an engine-library
+      interface ({!Engine.engine_library}) transitively reaches a
+      nondeterministic primitive.  The finding names the witness chain
+      and the primitive's site.
+    - {b T3} dead export: an [.mli]-declared value referenced by no
+      {e other} compilation unit in the build universe.
+
+    Suppressions ([(* lint: allow t1 *)] comments, [[@lint.allow]]
+    attributes) are honoured at the spawn site, the touch site or the
+    state's defining binding (T1); at the export, the entry definition
+    or the primitive occurrence (T2); and at the [val] item (T3). *)
+
+val analyze : Callgraph.t -> Rule.finding list
+(** All T1/T2/T3 findings, sorted by {!Rule.compare_finding} and
+    deduplicated. *)

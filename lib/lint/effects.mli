@@ -1,0 +1,59 @@
+(** Bottom-up effect inference over the {!Callgraph} (DESIGN.md §14).
+
+    Every top-level declaration is summarized into a point on the
+    effect lattice
+
+    {v pure < mutates-local < mutates-escaping < nondet < io v}
+
+    by a single callees-first pass over the strongly connected
+    components of the call graph (mutual recursion is the fixpoint case:
+    all members of a component share the union of the component's
+    facts).
+
+    Summaries carry {e witnesses} — the concrete primitive occurrence
+    and the call chain that reaches it — chosen deterministically
+    (shortest chain, ties broken lexicographically), so analysis output
+    is byte-stable across runs.
+
+    Scope notes: [mutates-local] does not propagate to callers (a callee
+    mutating its own state leaves the caller's summary untouched), while
+    touches of top-level mutable state, nondeterminism and IO do. *)
+
+type level = Pure | Mutates_local | Mutates_escaping | Nondet | Io
+
+val level_name : level -> string
+(** ["pure"], ["mutates-local"], ["mutates-escaping"], ["nondet"],
+    ["io"]. *)
+
+val compare_level : level -> level -> int
+(** Lattice order, [Pure] lowest. *)
+
+type touch = {
+  g : string;  (** node id of the top-level mutable state *)
+  g_kind : string;  (** ["ref"], ["Hashtbl.t"], … or ["mutated state"] *)
+  t_at : Callgraph.site;  (** the direct touching reference *)
+  via : string list;  (** call chain from the summarized decl, nearest first *)
+  t_write : bool;
+  t_allowed : Rule.t list;  (** suppressions in force at the touch site *)
+}
+
+type witness = {
+  w_label : string;  (** primitive name, e.g. ["Random.int"] *)
+  w_at : Callgraph.site;
+  w_via : string list;
+  w_allowed : Rule.t list;
+}
+
+type summary = {
+  s_level : level;
+  touched : touch list;  (** deduped per global, sorted by node id *)
+  nondet : witness option;
+  io : witness option;
+}
+
+type t
+
+val analyze : Callgraph.t -> t
+
+val summary : t -> string -> summary option
+(** By declaration node id; [None] for unknown ids. *)

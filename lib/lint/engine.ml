@@ -50,10 +50,12 @@ let decision_output_scoped file =
    weaker "only when building a list" test applies; inside these
    libraries ANY unsorted Hashtbl iteration is sanctioned, because even
    a float sum accumulated in hash order changes observable bits. *)
-let hash_order_scoped file =
+let engine_library file =
   match path_parts file with
   | "lib" :: ("mapping" | "heuristics" | "lp" | "sim" | "serve") :: _ -> true
   | _ -> false
+
+let hash_order_scoped = engine_library
 
 exception Parse_error of string
 

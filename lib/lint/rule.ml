@@ -1,6 +1,6 @@
-type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2
+type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2 | T1 | T2 | T3
 
-let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2 ]
+let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2; T1; T2; T3 ]
 
 let id = function
   | D1 -> "D1"
@@ -12,6 +12,9 @@ let id = function
   | F1 -> "F1"
   | P1 -> "P1"
   | P2 -> "P2"
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
 
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -24,6 +27,9 @@ let of_string s =
   | "f1" -> Some F1
   | "p1" -> Some P1
   | "p2" -> Some P2
+  | "t1" -> Some T1
+  | "t2" -> Some T2
+  | "t3" -> Some T3
   | _ -> None
 
 let synopsis = function
@@ -44,6 +50,15 @@ let synopsis = function
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"
+  | T1 ->
+    "static race: a Domain.spawn closure transitively reaches top-level \
+     mutable state shared across domains"
+  | T2 ->
+    "determinism taint: an engine-library entry point transitively reaches \
+     a nondeterministic primitive (hash-order iteration, Random, wall clock)"
+  | T3 ->
+    "dead export: an .mli-declared value referenced by no other compilation \
+     unit"
 
 type finding = {
   rule : t;
@@ -79,5 +94,20 @@ let csv_header = "rule,file,line,col,message"
 let pp_csv ppf f =
   Format.fprintf ppf "%s,%s,%d,%d,%s" (id f.rule) (csv_escape f.file) f.line
     f.col (csv_escape f.message)
+
+(* One canonical-JSON object per finding (Obs.Jsonc escaping and field
+   order), so CI and editors can consume reports line-by-line without
+   parsing the text format. *)
+let to_json f =
+  Insp_obs.Jsonc.obj
+    [
+      ("rule", Insp_obs.Jsonc.string (id f.rule));
+      ("file", Insp_obs.Jsonc.string f.file);
+      ("line", Insp_obs.Jsonc.int f.line);
+      ("col", Insp_obs.Jsonc.int f.col);
+      ("message", Insp_obs.Jsonc.string f.message);
+    ]
+
+let pp_json ppf f = Format.pp_print_string ppf (to_json f)
 
 let baseline_key f = Printf.sprintf "%s %s:%d:%d" (id f.rule) f.file f.line f.col

@@ -25,9 +25,25 @@ type t =
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
+  | T1
+      (** {e typedtree, whole-program}: no [Domain.spawn] closure may
+          transitively reach top-level mutable state (refs, arrays,
+          [Hashtbl]s, mutable record fields) — workers sharing a global
+          is a data race the per-file rules cannot see (DESIGN.md §14) *)
+  | T2
+      (** {e typedtree, whole-program}: no engine-library entry point
+          ([.mli]-exported value of [lib/{mapping,heuristics,lp,sim,
+          serve}]) may transitively reach a nondeterministic primitive —
+          hash-order iteration, [Stdlib.Random], a wall-clock read.
+          The semantic, interprocedural closure of D1/D3/D6. *)
+  | T3
+      (** {e typedtree, whole-program}: every [.mli]-declared value under
+          [lib/] must be referenced from at least one other compilation
+          unit (the whole build universe counts: lib, bin, bench, test,
+          examples) *)
 
 val all : t list
-(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2. *)
+(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2, T1, T2, T3. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)
@@ -57,6 +73,14 @@ val pp_csv : Format.formatter -> finding -> unit
 (** One CSV record [rule,file,line,col,message] with RFC-4180 quoting. *)
 
 val csv_header : string
+
+val to_json : finding -> string
+(** One canonical-JSON object
+    [{"rule":…,"file":…,"line":…,"col":…,"message":…}] per finding
+    ({!Insp_obs.Jsonc} escaping, fixed field order) — the [--format
+    json] line format. *)
+
+val pp_json : Format.formatter -> finding -> unit
 
 val baseline_key : finding -> string
 (** Stable key used by the baseline file: ["RULE file:line:col"]. *)

@@ -43,6 +43,7 @@ val check :
   Insp_tree.App.t -> Insp_platform.Platform.t -> Alloc.t -> violation list
 (** All violations, structural first.  Empty list = feasible. *)
 
+(* lint: allow t3 — documented oracle entry point for external validity checks *)
 val is_feasible :
   Insp_tree.App.t -> Insp_platform.Platform.t -> Alloc.t -> bool
 

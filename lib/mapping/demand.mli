@@ -25,6 +25,7 @@ type t = {
   comm_out : float;
 }
 
+(* lint: allow t3 — identity element of the demand monoid *)
 val zero : t
 
 val nic : t -> float
@@ -50,4 +51,5 @@ val max_crossing_edge : Insp_tree.App.t -> int list -> float
     a necessary lower bound on the processor-to-processor link bandwidth
     (constraint (5)). *)
 
+(* lint: allow t3 — debugging printer *)
 val pp : Format.formatter -> t -> unit

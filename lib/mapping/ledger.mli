@@ -114,6 +114,7 @@ val violations_touching : t -> proc_id list -> Check.violation list
 val of_alloc : Insp_tree.App.t -> Insp_platform.Platform.t -> Alloc.t -> t
 (** Replays an allocation; processor ids coincide with [Alloc] indices. *)
 
+(* lint: allow t3 — documented bridge to the allocation view *)
 val to_alloc : t -> Alloc.t
 (** Live processors in increasing id order. *)
 

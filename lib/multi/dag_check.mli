@@ -48,5 +48,6 @@ val check :
   Insp_mapping.Alloc.t ->
   Insp_mapping.Check.violation list
 
+(* lint: allow t3 — documented oracle entry point for external validity checks *)
 val is_feasible :
   Dag.t -> Insp_platform.Platform.t -> Insp_mapping.Alloc.t -> bool

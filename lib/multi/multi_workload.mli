@@ -22,6 +22,7 @@ val correlated_trees :
     grafts, hence sharable).  Each graft counts towards the tree's
     operator budget. *)
 
+(* lint: allow t3 — workload preset kept for manual experiments *)
 val correlated_apps :
   Insp_util.Prng.t ->
   config:Insp_workload.Config.t ->

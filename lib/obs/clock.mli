@@ -11,5 +11,6 @@ val elapsed_us : unit -> float
     clock read.  Timing-only: never compare or persist these values in
     deterministic outputs. *)
 
+(* lint: allow t3 — convenience over the sanctioned clock, kept for bench scripts *)
 val elapsed_s : unit -> float
 (** [elapsed_us () /. 1e6]. *)

@@ -4,6 +4,7 @@
     completion, so deterministic instrumented work yields deterministic
     recorded values; durations and timestamps are timing-only. *)
 
+(* lint: allow t3 — CSV schema kept documented next to the exporter *)
 val metrics_csv_header : string
 (** ["kind,name,value"]. *)
 

@@ -103,6 +103,7 @@ val record_bounded : t -> category:string -> event -> unit
 
 val set_manifest : t -> manifest -> unit
 
+(* lint: allow t3 — manifest accessor for external tooling over journal files *)
 val manifest : t -> manifest option
 
 val events : t -> event list

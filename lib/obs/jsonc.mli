@@ -6,6 +6,7 @@
     contract ({!Journal}) and the Chrome trace's well-formedness both
     rest on. *)
 
+(* lint: allow t3 — escaping primitive exposed for custom serializers *)
 val escape : string -> string
 (** JSON string-body escaping: quote, backslash, control characters. *)
 

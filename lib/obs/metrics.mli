@@ -25,6 +25,7 @@ type t
 
 val create : unit -> t
 
+(* lint: allow t3 — documented default histogram edges *)
 val default_edges : float array
 (** Buckets used when [observe] is not given explicit edges:
     1, 2, 5, 10, 20, 50, 100, 500 (plus overflow). *)
@@ -41,6 +42,7 @@ val observe : ?edges:float array -> t -> string -> float -> unit
     and non-empty. *)
 
 val counter : t -> string -> int option
+(* lint: allow t3 — metrics API completeness (counter/gauge pair) *)
 val gauge : t -> string -> float option
 
 val merge : into:t -> t -> unit

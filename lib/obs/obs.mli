@@ -19,11 +19,14 @@ type t = { metrics : Metrics.t; spans : Span.t; journal : Journal.t }
 val create : unit -> t
 (** Fresh sink; the journal starts disabled (see {!with_sink}). *)
 
+(* lint: allow t3 — recorder lifecycle API for embedders *)
 val install : t -> unit
 (** Make [t] the current domain's sink. *)
 
+(* lint: allow t3 — recorder lifecycle API for embedders *)
 val uninstall : unit -> unit
 
+(* lint: allow t3 — recorder lifecycle API for embedders *)
 val active : unit -> t option
 
 val enabled : unit -> bool

@@ -85,6 +85,7 @@ val handle : t -> Stream.event -> unit
     out of range). *)
 
 val params : t -> params
+(* lint: allow t3 — service introspection accessor *)
 val platform : t -> Insp_platform.Platform.t
 val n_live : t -> int
 
@@ -107,6 +108,7 @@ val residual_procs : ?excluding:int -> t -> tenant:int -> int
 
 type reject_reason = R_placement | R_proc_budget | R_ledger
 
+(* lint: allow t3 — service introspection accessor *)
 val reject_label : reject_reason -> string
 
 type account = {
@@ -117,6 +119,7 @@ type account = {
   mutable departed : int;
 }
 
+(* lint: allow t3 — service introspection accessor *)
 val account : t -> int -> account
 (** The tenant's running account (live view, mutated by {!handle}). *)
 

@@ -18,6 +18,7 @@ type spec = {
       (** lifetimes are uniform over [1, 2*mean_lifetime] ticks *)
 }
 
+(* lint: allow t3 — documented default stream configuration *)
 val default : spec
 (** 1000 applications, 4 tenants, 6–24 operators, mean gap 2, mean
     lifetime 90, seed 1. *)
@@ -52,4 +53,5 @@ val events : spec -> event list
     admitted.  Every application departs exactly once, strictly after
     its arrival. *)
 
+(* lint: allow t3 — debugging printer *)
 val pp_event : Format.formatter -> event -> unit

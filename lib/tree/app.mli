@@ -46,6 +46,7 @@ val work : t -> int -> float
 val output_size : t -> int -> float
 (** [output_size t i] = [delta_i] in MB per result. *)
 
+(* lint: allow t3 — model accessor completing the App API *)
 val input_size : t -> int -> float
 (** Sum of the operator's input sizes (equals [delta_i] under the paper's
     additive output model). *)
@@ -72,4 +73,5 @@ val total_leaf_mass : t -> float
 val heaviest_operator : t -> int
 (** Operator id with the largest [w_i]. *)
 
+(* lint: allow t3 — debugging printer *)
 val pp : Format.formatter -> t -> unit

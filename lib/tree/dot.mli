@@ -1,5 +1,6 @@
 (** Graphviz export of operator trees, for documentation and debugging. *)
 
+(* lint: allow t3 — Graphviz export for manual inspection *)
 val of_tree : Optree.t -> string
 (** DOT digraph with operators as boxes and object leaves as ellipses. *)
 
