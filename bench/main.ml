@@ -337,6 +337,93 @@ let serve_entry ~quick () =
   ("serve.1k_events", wall_s, recorder)
 
 (* ------------------------------------------------------------------ *)
+(* Fault repair loop: sustained crash/repair throughput                 *)
+
+(* An all-crash timeline (bursty, ~2 victims per event) driven through
+   the fault engine with DES measurement off: every cycle is one
+   builder rebuild + displaced-operator re-placement + checker pass.
+   The repair counters (migrations, rebuys) ride along in the JSON row
+   so bench-compare flags behavioural drift in the repair policy, not
+   just wall time. *)
+let faults_repair_entry ~quick () =
+  line "fault repair loop (crash/repair cycles, no DES)";
+  let n_events = if quick then 60 else 500 in
+  let inst = fixed_instance ~n:40 () in
+  let alloc =
+    match
+      Insp.Solve.run ~seed:1
+        (Option.get (Insp.Solve.find "sbu"))
+        inst.Insp.Instance.app inst.Insp.Instance.platform
+    with
+    | Ok o -> o.Insp.Solve.alloc
+    | Error f -> failwith (Insp.Solve.failure_message f)
+  in
+  let timeline =
+    Insp.Fault_scenario.generate
+      (Insp.Fault_scenario.make ~seed:1 ~horizon:100000.0 ~n_events
+         ~mean_burst:2 ~crash_w:1 ~degrade_w:0 ~outage_w:0 ~jitter_w:0
+         ~rho_w:0 ())
+  in
+  let spec = Insp.Fault_engine.make_spec ~measure:false () in
+  let t0 = Unix.gettimeofday () in
+  let report, recorder =
+    Insp.Obs.with_sink (fun () ->
+        Insp.Fault_engine.run spec inst.Insp.Instance.app
+          inst.Insp.Instance.platform alloc timeline)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let total_mig =
+    List.fold_left
+      (fun a (e : Insp.Fault_engine.episode) -> a + e.Insp.Fault_engine.ep_migrations)
+      0 report.Insp.Fault_engine.episodes
+  in
+  Printf.printf
+    "%d crashes repaired (%d migrations, %.0f $ re-allocated) in %.2f s \
+     (%.0f repairs/s)\n%!"
+    report.Insp.Fault_engine.n_crashes total_mig
+    report.Insp.Fault_engine.total_realloc_cost wall_s
+    (float_of_int report.Insp.Fault_engine.n_crashes /. Float.max wall_s 1e-9);
+  ("faults.repair_1k", wall_s, recorder)
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy hardening: the K=1 cost-of-resilience point               *)
+
+let faults_frontier_entry ~quick () =
+  line "redundancy frontier (K=1 hardening)";
+  let n = if quick then 20 else 40 in
+  let inst = fixed_instance ~n () in
+  let alloc =
+    match
+      Insp.Solve.run ~seed:1
+        (Option.get (Insp.Solve.find "sbu"))
+        inst.Insp.Instance.app inst.Insp.Instance.platform
+    with
+    | Ok o -> o.Insp.Solve.alloc
+    | Error f -> failwith (Insp.Solve.failure_message f)
+  in
+  let t0 = Unix.gettimeofday () in
+  let hardened, recorder =
+    Insp.Obs.with_sink (fun () ->
+        match
+          Insp.Redundancy.harden ~k:1 inst.Insp.Instance.app
+            inst.Insp.Instance.platform alloc
+        with
+        | Ok hd ->
+          Insp.Obs.gauge "faults.frontier.base_cost" hd.Insp.Redundancy.base_cost;
+          Insp.Obs.gauge "faults.frontier.cost" hd.Insp.Redundancy.cost;
+          Some hd
+        | Error _ -> None)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match hardened with
+  | Some hd ->
+    Printf.printf "K=1: %d spare(s), $%.0f over $%.0f base in %.2f s\n%!"
+      hd.Insp.Redundancy.spares hd.Insp.Redundancy.cost
+      hd.Insp.Redundancy.base_cost wall_s
+  | None -> Printf.printf "K=1: hardening failed in %.2f s\n%!" wall_s);
+  ("faults.k1_frontier", wall_s, recorder)
+
+(* ------------------------------------------------------------------ *)
 (* Lint wall time: per-file rules plus the whole-program deep pass      *)
 
 (* A synthetic row so bench-compare catches analysis slowdowns — the
@@ -524,6 +611,8 @@ let () =
     @ [
         journal_overhead_entry ~quick ();
         serve_entry ~quick ();
+        faults_repair_entry ~quick ();
+        faults_frontier_entry ~quick ();
         lint_entry ~quick ();
       ]
   in

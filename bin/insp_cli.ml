@@ -773,6 +773,249 @@ let serve_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+
+let print_fault_episodes (report : Insp.Fault_engine.report) =
+  let table =
+    Insp.Table.create ~title:"fault timeline"
+      [
+        ("t", Insp.Table.Right);
+        ("fault", Insp.Table.Left);
+        ("downtime (s)", Insp.Table.Right);
+        ("realloc ($)", Insp.Table.Right);
+        ("mig", Insp.Table.Right);
+        ("rebuy", Insp.Table.Right);
+        ("dip", Insp.Table.Right);
+        ("recovery (s)", Insp.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ep : Insp.Fault_engine.episode) ->
+      Insp.Table.add_row table
+        [
+          Printf.sprintf "%.1f" ep.Insp.Fault_engine.ep_t;
+          ep.ep_label;
+          Printf.sprintf "%.1f" ep.ep_downtime;
+          Printf.sprintf "%.0f" ep.ep_cost;
+          string_of_int ep.ep_migrations;
+          string_of_int ep.ep_rebuys;
+          (match ep.ep_dip with
+          | Some d -> Printf.sprintf "%.0f%%" (100.0 *. d)
+          | None -> "-");
+          (match ep.ep_recovery with
+          | Some r -> Printf.sprintf "%.1f" r
+          | None -> "-");
+        ])
+    report.Insp.Fault_engine.episodes;
+  Insp.Table.print table
+
+let faults_cmd =
+  let events =
+    Arg.(
+      value & opt int 10
+      & info [ "events" ] ~docv:"E"
+          ~doc:"Scheduled fault events in the timeline (crash bursts may \
+                expand them).")
+  in
+  let mean_burst =
+    Arg.(
+      value & opt int 2
+      & info [ "mean-burst" ] ~docv:"B"
+          ~doc:"Mean crash-burst size (1 = independent crashes).")
+  in
+  let no_measure =
+    Arg.(
+      value & flag
+      & info [ "no-measure" ]
+          ~doc:"Skip the discrete-event replay of capacity faults (repair \
+                accounting only).")
+  in
+  let max_procs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-procs" ] ~docv:"P"
+          ~doc:"Cap on the repaired processor count — a deliberately tight \
+                cap makes overloaded post-crash platforms report as \
+                infeasible.")
+  in
+  let no_rebuy =
+    Arg.(
+      value & flag
+      & info [ "no-rebuy" ]
+          ~doc:"Migration-only repair: never buy replacement processors.")
+  in
+  let harden_k =
+    Arg.(
+      value & opt (some int) None
+      & info [ "harden" ] ~docv:"K"
+          ~doc:"Before the run, buy spare capacity so any K simultaneous \
+                processor failures are repairable by migration alone.")
+  in
+  let journal_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write the fault/repair decision journal (canonical JSONL).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Replay the crash/repair timeline twice and require \
+                byte-identical journals and reports.")
+  in
+  let run seed n alpha sizes freq events mean_burst no_measure max_procs
+      no_rebuy harden_k heuristic journal_out verify trace metrics =
+    let key = if heuristic = "all" then "sbu" else heuristic in
+    match Insp.Solve.find key with
+    | None ->
+      prerr_endline ("unknown heuristic: " ^ key);
+      exit_unknown_name
+    | Some h -> (
+      let inst = make_instance n alpha sizes freq seed in
+      match Insp.Solve.run ~seed h inst.Insp.Instance.app inst.Insp.Instance.platform with
+      | Error f ->
+        prerr_endline ("initial solve failed: " ^ Insp.Solve.failure_message f);
+        exit_infeasible
+      | Ok o -> (
+        let hardened =
+          match harden_k with
+          | None -> Ok None
+          | Some k ->
+            Result.map
+              (fun hd -> Some hd)
+              (Insp.Redundancy.harden ~k inst.Insp.Instance.app
+                 inst.Insp.Instance.platform o.Insp.Solve.alloc)
+        in
+        match hardened with
+        | Error msg ->
+          prerr_endline ("harden failed: " ^ msg);
+          exit_infeasible
+        | Ok hardened ->
+          let base_alloc =
+            match hardened with
+            | Some hd -> hd.Insp.Redundancy.alloc
+            | None -> o.Insp.Solve.alloc
+          in
+          let timeline =
+            Insp.Fault_scenario.generate
+              (Insp.Fault_scenario.make ~seed ~n_events:events ~mean_burst ())
+          in
+          let spec =
+            Insp.Fault_engine.make_spec ?max_procs
+              ~allow_rebuy:(not no_rebuy) ~measure:(not no_measure)
+              ~heuristic:h ()
+          in
+          let once () =
+            let report, recorder =
+              Insp.Obs.with_sink ~journal:true (fun () ->
+                  Insp.Fault_engine.run spec inst.Insp.Instance.app
+                    inst.Insp.Instance.platform base_alloc timeline)
+            in
+            Journal.set_manifest recorder.Insp.Obs.journal
+              {
+                Journal.m_seed = seed;
+                m_config_hash =
+                  Journal.hash_hex
+                    (Format.asprintf "%a" Insp.Config.pp
+                       (Insp.Config.make ~n_operators:n ~alpha ~sizes ~freq
+                          ~seed ()));
+                m_heuristic = key;
+                m_args =
+                  [
+                    ("events", string_of_int events);
+                    ("mean-burst", string_of_int mean_burst);
+                    ("measure", string_of_bool (not no_measure));
+                    ("rebuy", string_of_bool (not no_rebuy));
+                    ( "max-procs",
+                      match max_procs with
+                      | Some p -> string_of_int p
+                      | None -> "none" );
+                    ( "harden",
+                      match harden_k with
+                      | Some k -> string_of_int k
+                      | None -> "none" );
+                  ];
+              };
+            (report, recorder)
+          in
+          let report, recorder = once () in
+          let jsonl = Journal.to_jsonl recorder.Insp.Obs.journal in
+          let rendered = Format.asprintf "%a" Insp.Fault_engine.pp_report report in
+          let verify_code =
+            if not verify then 0
+            else begin
+              let report2, recorder2 = once () in
+              let jsonl2 = Journal.to_jsonl recorder2.Insp.Obs.journal in
+              match Journal.diff jsonl jsonl2 with
+              | Some d ->
+                Format.printf "faults verify: FAILED (journal)@.";
+                print_divergence d;
+                exit_infeasible
+              | None -> (
+                match
+                  Journal.diff rendered
+                    (Format.asprintf "%a" Insp.Fault_engine.pp_report report2)
+                with
+                | Some d ->
+                  Format.printf "faults verify: FAILED (report)@.";
+                  print_divergence d;
+                  exit_infeasible
+                | None ->
+                  Format.printf
+                    "faults verify: OK (%d journal events, byte-identical)@."
+                    (Journal.length recorder.Insp.Obs.journal);
+                  0)
+            end
+          in
+          print_fault_episodes report;
+          Format.printf "%a@." Insp.Fault_engine.pp_report report;
+          Option.iter
+            (fun (hd : Insp.Redundancy.hardened) ->
+              Format.printf
+                "hardened for K=%d: %d spare(s), cost $%.0f (base $%.0f)@."
+                hd.Insp.Redundancy.k hd.spares hd.cost hd.base_cost)
+            hardened;
+          Option.iter
+            (fun path ->
+              Insp.Obs_export.save path jsonl;
+              Format.printf "wrote decision journal to %s (%d events)@." path
+                (Journal.length recorder.Insp.Obs.journal))
+            journal_out;
+          Option.iter
+            (fun path ->
+              Insp.Obs_export.save path (Insp.Obs_export.chrome_trace recorder);
+              Format.printf "wrote Chrome trace to %s@." path)
+            trace;
+          Option.iter
+            (fun path ->
+              Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
+              Format.printf "wrote metrics CSV to %s@." path)
+            metrics;
+          if verify_code <> 0 then verify_code
+          else
+            match report.Insp.Fault_engine.infeasible_at with
+            | Some _ -> exit_infeasible
+            | None -> 0))
+  in
+  let term =
+    Term.(
+      const run $ seed $ n_operators $ alpha $ sizes $ freq $ events
+      $ mean_burst $ no_measure $ max_procs $ no_rebuy $ harden_k
+      $ heuristic_arg $ journal_out $ verify $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults" ~exits
+       ~doc:
+         "Drive a deployed mapping through a deterministic seed-driven fault \
+          timeline: crashes are repaired against residual capacity \
+          (migrate/upgrade/rebuy), capacity faults are replayed in the \
+          discrete-event runtime (throughput dip, recovery time) and demand \
+          shifts trigger redeploys.  Exits with status 1 when the timeline \
+          hits an irreparable fault.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* catalog                                                             *)
 
 let catalog_cmd =
@@ -955,7 +1198,7 @@ let main =
   Cmd.group info
     [
       solve_cmd; simulate_cmd; sweep_cmd; exact_cmd; multi_cmd; rewrite_cmd;
-      serve_cmd; catalog_cmd; journal_cmd; explain_cmd;
+      serve_cmd; faults_cmd; catalog_cmd; journal_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -99,6 +99,13 @@ module Rewrite = Insp_rewrite.Rewrite
 module Serve = Insp_serve.Serve
 module Serve_stream = Insp_serve.Stream
 
+(** {1 Fault injection, repair and redundancy} *)
+
+module Fault_scenario = Insp_faults.Scenario
+module Fault_repair = Insp_faults.Repair
+module Fault_engine = Insp_faults.Engine
+module Redundancy = Insp_faults.Redundancy
+
 (** {1 Workloads and experiments} *)
 
 module Config = Insp_workload.Config

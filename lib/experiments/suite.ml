@@ -442,9 +442,118 @@ let serve_tenancy ?(seeds = [ 1; 2; 3 ]) ?(n_apps = 1000) () =
     variants;
   Table.render table
 
+let faults_resilience ?(seeds = [ 1; 2; 3 ]) ?(n = 40) ?(n_events = 10) () =
+  let module Scenario = Insp_faults.Scenario in
+  let module Engine = Insp_faults.Engine in
+  let module Redundancy = Insp_faults.Redundancy in
+  let sbu = List.find (fun h -> h.Solve.key = "sbu") Solve.all in
+  let runs =
+    Par_sweep.map
+      (fun seed ->
+        let config = Config.make ~n_operators:n ~alpha:0.9 ~seed () in
+        let inst = Instance.generate config in
+        match Solve.run ~seed sbu inst.Instance.app inst.Instance.platform with
+        | Error _ -> (seed, None)
+        | Ok o ->
+          let timeline =
+            Scenario.generate (Scenario.make ~seed ~n_events ~mean_burst:2 ())
+          in
+          let report =
+            Engine.run (Engine.make_spec ()) inst.Instance.app
+              inst.Instance.platform o.Solve.alloc timeline
+          in
+          let frontier =
+            Redundancy.frontier ~k_max:2 inst.Instance.app
+              inst.Instance.platform o.Solve.alloc
+          in
+          (seed, Some (o, report, frontier)))
+      seeds
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "[faults] crash/repair resilience of SBU mappings, N=%d, \
+            %d-event timelines"
+           n n_events)
+      [
+        ("seed", Table.Right);
+        ("procs", Table.Right);
+        ("episodes", Table.Right);
+        ("crashes", Table.Right);
+        ("downtime (s)", Table.Right);
+        ("realloc ($)", Table.Right);
+        ("worst dip", Table.Right);
+        ("status", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (seed, cell) ->
+      match cell with
+      | None ->
+        Table.add_row table
+          [ string_of_int seed; "-"; "-"; "-"; "-"; "-"; "-"; "infeasible" ]
+      | Some (o, r, _) ->
+        Table.add_row table
+          [
+            string_of_int seed;
+            string_of_int o.Solve.n_procs;
+            string_of_int (List.length r.Engine.episodes);
+            string_of_int r.Engine.n_crashes;
+            Printf.sprintf "%.1f" r.Engine.total_downtime;
+            Printf.sprintf "%.0f" r.Engine.total_realloc_cost;
+            (match r.Engine.worst_dip with
+            | Some d -> Printf.sprintf "%.0f%%" (100.0 *. d)
+            | None -> "-");
+            (match r.Engine.infeasible_at with
+            | Some t -> Printf.sprintf "infeasible@%.0f" t
+            | None -> "ok");
+          ])
+    runs;
+  (* Cost-of-resilience frontier: platform cost after hardening against
+     any K simultaneous crashes with migration-only repair. *)
+  let points =
+    List.map
+      (fun k ->
+        let costs =
+          List.filter_map
+            (fun (_, cell) ->
+              match cell with
+              | None -> None
+              | Some (_, _, frontier) -> (
+                match List.find_opt (fun (k', _) -> k' = k) frontier with
+                | Some (_, Ok h) -> Some h.Redundancy.cost
+                | Some (_, Error _) | None -> None))
+            runs
+        in
+        {
+          Figure.x = float_of_int k;
+          cells =
+            [ ("SBU+spares", Figure.cell_of_costs ~attempts:(List.length seeds) costs) ];
+        })
+      [ 0; 1; 2 ]
+  in
+  let fig =
+    {
+      Figure.id = "faults-k";
+      title =
+        Printf.sprintf
+          "cost of K-failure resilience (migration-only repair), N=%d" n;
+      xlabel = "K";
+      points;
+      notes =
+        [
+          "spares are bought at the top configuration, then downgraded to \
+           the cheapest preserving K-resilience";
+        ];
+    }
+  in
+  Table.render table ^ "\n" ^ Figure.render fig
+
 let all_ids =
   [ "fig2a"; "fig2b"; "fig3"; "fig3-n20"; "large"; "lowfreq"; "rates";
-    "ilp"; "sharing"; "rewrite"; "replication"; "serve"; "simcheck" ]
+    "ilp"; "sharing"; "rewrite"; "replication"; "serve"; "simcheck";
+    "faults" ]
 
 let run_by_id ?(quick = false) ?(seed = 1) ?(jobs = 1) id =
   let seeds = List.init (if quick then 2 else 5) (fun i -> seed + i) in
@@ -490,4 +599,9 @@ let run_by_id ?(quick = false) ?(seed = 1) ?(jobs = 1) id =
     let ns = if quick then [ 20 ] else [ 20; 60 ] in
     let seeds = List.init (if quick then 1 else 3) (fun i -> seed + i) in
     Some (sim_validation ~seeds ~ns ())
+  | "faults" ->
+    let n = if quick then 20 else 40 in
+    let n_events = if quick then 6 else 10 in
+    let seeds = List.init (if quick then 1 else 3) (fun i -> seed + i) in
+    Some (faults_resilience ~seeds ~n ~n_events ())
   | _ -> None

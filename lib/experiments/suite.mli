@@ -63,9 +63,17 @@ val sim_validation : ?seeds:int list -> ?ns:int list -> unit -> string
     executed in the discrete-event runtime; reports achieved vs target
     throughput.  Rendered as its own table. *)
 
+(* lint: allow t3 — experiment preset kept for manual runs *)
+val faults_resilience :
+  ?seeds:int list -> ?n:int -> ?n_events:int -> unit -> string
+(** Extension (fault injection): SBU mappings driven through seeded
+    fault timelines ({!Insp_faults}); reports per-seed downtime,
+    re-allocation cost and worst measured throughput dip, plus the
+    K in {0,1} cost-of-resilience frontier figure. *)
+
 val all_ids : string list
 (** In DESIGN.md order: fig2a fig2b fig3 fig3-n20 large lowfreq rates ilp
-    sharing rewrite replication serve simcheck. *)
+    sharing rewrite replication serve simcheck faults. *)
 
 val run_by_id : ?quick:bool -> ?seed:int -> ?jobs:int -> string -> string option
 (** Rendered experiment output; [quick] shrinks seeds and sweep points

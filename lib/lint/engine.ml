@@ -42,7 +42,7 @@ let domain_spawn_sanctioned file =
    decision data bypassing Obs.Journal. *)
 let decision_output_scoped file =
   match path_parts file with
-  | "lib" :: ("heuristics" | "lp" | "sim") :: _ -> true
+  | "lib" :: ("heuristics" | "lp" | "sim" | "faults") :: _ -> true
   | _ -> false
 
 (* D6 scope — engine libraries whose outputs (violation lists, probes,
@@ -52,7 +52,8 @@ let decision_output_scoped file =
    a float sum accumulated in hash order changes observable bits. *)
 let engine_library file =
   match path_parts file with
-  | "lib" :: ("mapping" | "heuristics" | "lp" | "sim" | "serve") :: _ -> true
+  | "lib" :: ("mapping" | "heuristics" | "lp" | "sim" | "serve" | "faults") :: _
+    -> true
   | _ -> false
 
 let hash_order_scoped = engine_library

@@ -32,8 +32,8 @@ val domain_spawn_sanctioned : string -> bool
 
 val engine_library : string -> bool
 (** The engine libraries whose outputs must be bit-reproducible —
-    [lib/{mapping,heuristics,lp,sim,serve}].  Scope of D6 and of the
-    interprocedural T2 entry-point taint (DESIGN.md §14). *)
+    [lib/{mapping,heuristics,lp,sim,serve,faults}].  Scope of D6 and of
+    the interprocedural T2 entry-point taint (DESIGN.md §14). *)
 
 exception Parse_error of string
 (** Raised when a file does not lex/parse as an OCaml implementation. *)

@@ -18,7 +18,7 @@ type t =
   | D6
       (** no unsorted [Hashtbl.fold]/[iter]/[to_seq] in the engine
           libraries [lib/mapping], [lib/heuristics], [lib/lp], [lib/sim],
-          [lib/serve] — even an order-insensitive-looking fold (a float
+          [lib/serve], [lib/faults] — even an order-insensitive-looking fold (a float
           sum) changes observable bits with hash order; iterate a
           key-sorted snapshot instead.  Strictly stronger than [D2]
           inside that scope (and reported instead of it). *)
@@ -33,7 +33,7 @@ type t =
   | T2
       (** {e typedtree, whole-program}: no engine-library entry point
           ([.mli]-exported value of [lib/{mapping,heuristics,lp,sim,
-          serve}]) may transitively reach a nondeterministic primitive —
+          serve,faults}]) may transitively reach a nondeterministic primitive —
           hash-order iteration, [Stdlib.Random], a wall-clock read.
           The semantic, interprocedural closure of D1/D3/D6. *)
   | T3

@@ -278,4 +278,14 @@ let run ?window ?(horizon = 80.0) ?warmup dag platform alloc =
     download_delivered = !download_delivered;
     download_ideal = ideal;
     events = !n_events;
+    root_completions =
+      (* merged over every root, ascending *)
+      (let all =
+         Array.fold_left
+           (fun acc completions -> List.rev_append completions acc)
+           [] root_completions
+       in
+       let a = Array.of_list all in
+       Array.sort Float.compare a;
+       a);
   }

@@ -76,6 +76,26 @@ type event =
   | Serve_admit of { app : int; tenant : int; cost : float; n_procs : int }
   | Serve_reject of { app : int; tenant : int; reason : string }
   | Serve_depart of { app : int; tenant : int; refund : float }
+  | Serve_evict of { app : int; tenant : int; refund : float }
+  | Serve_unknown_depart of { app : int; t : int }
+  | Fault_crash of { t : float; victim : int }
+  | Fault_capacity of {
+      t : float;
+      scope : string;
+      factor : float;
+      duration : float;
+    }
+  | Fault_rho of { t : float; factor : float; rho : float }
+  | Repair_migrate of { op : int; from_proc : int; to_group : int }
+  | Repair_rebuy of { group : int; config : string; ops : int list }
+  | Repair_done of {
+      t : float;
+      cost : float;
+      migrations : int;
+      rebuys : int;
+      downtime : float;
+    }
+  | Repair_infeasible of { t : float; reason : string }
   | Truncated of { category : string }
   | Note of { key : string; value : string }
 
@@ -329,6 +349,58 @@ let event_to_json ev =
         ("tenant", Jsonc.int tenant);
         ("refund", Jsonc.float refund);
       ]
+  | Serve_evict { app; tenant; refund } ->
+    tag "serve_evict"
+      [
+        ("app", Jsonc.int app);
+        ("tenant", Jsonc.int tenant);
+        ("refund", Jsonc.float refund);
+      ]
+  | Serve_unknown_depart { app; t } ->
+    tag "serve_unknown_depart" [ ("app", Jsonc.int app); ("t", Jsonc.int t) ]
+  | Fault_crash { t; victim } ->
+    tag "fault_crash" [ ("t", Jsonc.float t); ("victim", Jsonc.int victim) ]
+  | Fault_capacity { t; scope; factor; duration } ->
+    tag "fault_capacity"
+      [
+        ("t", Jsonc.float t);
+        ("scope", Jsonc.string scope);
+        ("factor", Jsonc.float factor);
+        ("duration", Jsonc.float duration);
+      ]
+  | Fault_rho { t; factor; rho } ->
+    tag "fault_rho"
+      [
+        ("t", Jsonc.float t);
+        ("factor", Jsonc.float factor);
+        ("rho", Jsonc.float rho);
+      ]
+  | Repair_migrate { op; from_proc; to_group } ->
+    tag "repair_migrate"
+      [
+        ("op", Jsonc.int op);
+        ("from", Jsonc.int from_proc);
+        ("to", Jsonc.int to_group);
+      ]
+  | Repair_rebuy { group; config; ops } ->
+    tag "repair_rebuy"
+      [
+        ("group", Jsonc.int group);
+        ("config", Jsonc.string config);
+        ("ops", Jsonc.int_list ops);
+      ]
+  | Repair_done { t; cost; migrations; rebuys; downtime } ->
+    tag "repair_done"
+      [
+        ("t", Jsonc.float t);
+        ("cost", Jsonc.float cost);
+        ("migrations", Jsonc.int migrations);
+        ("rebuys", Jsonc.int rebuys);
+        ("downtime", Jsonc.float downtime);
+      ]
+  | Repair_infeasible { t; reason } ->
+    tag "repair_infeasible"
+      [ ("t", Jsonc.float t); ("reason", Jsonc.string reason) ]
   | Truncated { category } ->
     tag "truncated" [ ("category", Jsonc.string category) ]
   | Note { key; value } ->

@@ -75,6 +75,33 @@ type event =
   | Serve_admit of { app : int; tenant : int; cost : float; n_procs : int }
   | Serve_reject of { app : int; tenant : int; reason : string }
   | Serve_depart of { app : int; tenant : int; refund : float }
+  | Serve_evict of { app : int; tenant : int; refund : float }
+      (** live application displaced by a capacity loss (crash) *)
+  | Serve_unknown_depart of { app : int; t : int }
+      (** malformed stream: departure of a never-seen application *)
+  | Fault_crash of { t : float; victim : int }
+      (** processor [victim] of the current allocation fails at [t] *)
+  | Fault_capacity of {
+      t : float;
+      scope : string;  (** canonical scope label, e.g. ["plink:2-3"] *)
+      factor : float;
+      duration : float;
+    }  (** link degradation, server outage or card jitter window *)
+  | Fault_rho of { t : float; factor : float; rho : float }
+      (** diurnal demand: target throughput rescaled to [rho] *)
+  | Repair_migrate of { op : int; from_proc : int; to_group : int }
+      (** displaced operator re-placed on a surviving group *)
+  | Repair_rebuy of { group : int; config : string; ops : int list }
+      (** replacement processor purchased for displaced operators *)
+  | Repair_done of {
+      t : float;
+      cost : float;  (** total platform cost after the repair *)
+      migrations : int;
+      rebuys : int;
+      downtime : float;  (** detect + migrate + provision latency, s *)
+    }
+  | Repair_infeasible of { t : float; reason : string }
+      (** the post-fault platform cannot host the application *)
   | Truncated of { category : string }
       (** depth cap hit for a bounded category; subsequent events of the
           category are dropped *)

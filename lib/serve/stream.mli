@@ -16,12 +16,17 @@ type spec = {
       (** arrival gaps are uniform over [0, 2*mean_gap) logical ticks *)
   mean_lifetime : int;
       (** lifetimes are uniform over [1, 2*mean_lifetime] ticks *)
+  mean_burst : int;
+      (** correlated arrivals: burst sizes are uniform over
+          [1, 2*mean_burst - 1], and in-burst applications arrive at
+          the same tick.  1 (the default) disables bursts and draws
+          nothing, keeping legacy streams byte-identical. *)
 }
 
 (* lint: allow t3 — documented default stream configuration *)
 val default : spec
 (** 1000 applications, 4 tenants, 6–24 operators, mean gap 2, mean
-    lifetime 90, seed 1. *)
+    lifetime 90, no bursts, seed 1. *)
 
 val make :
   ?n_apps:int ->
@@ -30,10 +35,16 @@ val make :
   ?max_operators:int ->
   ?mean_gap:int ->
   ?mean_lifetime:int ->
+  ?mean_burst:int ->
   seed:int ->
   unit ->
   spec
 (** {!default} with overrides; validates ranges. *)
+
+val burst_size : Insp_util.Prng.t -> mean:int -> int
+(** One correlated-burst size draw: uniform over [1, 2*mean - 1] (a
+    mean of 1 returns 1 without consuming randomness).  Shared with the
+    fault-timeline generator's crash bursts. *)
 
 type event =
   | Arrival of {

@@ -127,6 +127,18 @@ let add_constraint t cap =
 
 let n_constraints t = t.n_caps
 
+let set_capacity t cid cap =
+  if cid < 0 || cid >= t.n_caps then
+    invalid_arg "Fair_share_inc.set_capacity: bad constraint index";
+  if cap < 0.0 then invalid_arg "Fair_share_inc.set_capacity: negative cap";
+  t.caps.(cid) <- cap;
+  match t.kernel with
+  | `Full -> ()
+  | `Incremental ->
+    (* The component's rates are stale until the next refresh, exactly
+       like after an add/remove on one of its flows. *)
+    t.dirty <- cid :: t.dirty
+
 (* Merge two cids' components, folding the losing root's member list
    into the winner's so component membership stays O(1) to look up. *)
 let union_members t a b =

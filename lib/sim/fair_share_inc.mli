@@ -51,6 +51,14 @@ val add_constraint : t -> float -> int
 (* lint: allow t3 — incremental-kernel introspection kept for diagnostics *)
 val n_constraints : t -> int
 
+val set_capacity : t -> int -> float -> unit
+(** [set_capacity t cid cap] replaces the registered capacity of
+    constraint [cid] — the fault-injection entry point (processor card
+    jitter, link degradation, server outage).  Takes effect on rates at
+    the next {!refresh}: the incremental kernel re-waterfills only the
+    constraint's component, the full oracle recomputes as always.
+    Raises [Invalid_argument] on an unknown index or a negative cap. *)
+
 val add_flow : t -> int list -> int
 (** [add_flow t ms] registers a flow crossing constraints [ms] (in the
     order the caller wants capacity subtracted, normally as built) and

@@ -17,6 +17,7 @@ type report = {
   download_delivered : float;
   download_ideal : float;
   events : int;
+  root_completions : float array;
 }
 
 (* The analytic model is fluid; the packetized simulation adds pipeline
@@ -38,14 +39,28 @@ type flow = {
   mutable remaining : float;
 }
 
+type scope =
+  | Proc_card of int
+  | Server_card of int
+  | Proc_link of int * int  (* undirected: hits both flow directions *)
+  | Server_link of int * int  (* (server, processor) *)
+
+type disruption = {
+  d_scope : scope;
+  d_from : float;
+  d_until : float;
+  d_factor : float;  (* multiplier on the nominal capacity, >= 0 *)
+}
+
 type event =
   | Compute_done of { op : int; result : int }
   | Download_due of { proc : int; object_type : int; server : int }
+  | Disrupt of { index : int; on : bool }
 
 let epsilon = 1e-9
 
-let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
-    platform alloc =
+let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental)
+    ?(disruptions = []) app platform alloc =
   (* The pipeline needs enough results in flight to cover its depth in
      processor hops, otherwise the work-ahead bound (not a resource)
      throttles throughput. *)
@@ -80,21 +95,60 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
   let busy_until_accum = Array.make n_procs 0.0 in
   let n_root_completions = ref 0 in
   let n_after_warmup = ref 0 in
+  let root_times = ref [] in
   (* --- flows ---
      Both kernel variants drive the same persistent registry in
      [Fair_share_inc], so constraint indices (and therefore bottleneck
      tie-breaks) coincide and the two paths produce bit-identical
      rates. *)
   let fs = Fair_share_inc.create ~kernel () in
+  (* --- capacity disruptions (fault injection) ---
+     Each disruption multiplies the nominal capacity of every matching
+     constraint by [d_factor] over [d_from, d_until).  With an empty
+     list the whole machinery is inert: no heap events, no factor
+     application, bit-identical trajectories. *)
+  let disr = Array.of_list disruptions in
+  let n_disr = Array.length disr in
+  Array.iter
+    (fun d ->
+      if d.d_factor < 0.0 then
+        invalid_arg "Runtime.run: negative disruption factor";
+      if d.d_until < d.d_from then
+        invalid_arg "Runtime.run: disruption ends before it starts")
+    disr;
+  let disr_active = Array.make (max 1 n_disr) false in
+  let scope_matches scope key =
+    match (scope, key) with
+    | Proc_card u, `Proc_card v -> u = v
+    | Server_card l, `Server_card m -> l = m
+    | Proc_link (a, b), `Plink (u, v) -> (a = u && b = v) || (a = v && b = u)
+    | Server_link (l, p), `Slink (m, q) -> l = m && p = q
+    | _ -> false
+  in
+  let eff_factor key =
+    let f = ref 1.0 in
+    for i = 0 to n_disr - 1 do
+      if disr_active.(i) && scope_matches disr.(i).d_scope key then
+        f := !f *. disr.(i).d_factor
+    done;
+    !f
+  in
   (* Constraints: proc cards (in+out), server cards, pair links.
-     Registered once, on the first flow that crosses them. *)
+     Registered once, on the first flow that crosses them.  With live
+     disruptions the registration list is kept (in registration order,
+     most recent first) so boundary events can re-derive every affected
+     effective capacity from the nominal one — no drift from repeated
+     multiply/divide. *)
   let cap_index = Hashtbl.create 16 in
+  let registered = ref [] in
   let constraint_of key cap =
     match Hashtbl.find_opt cap_index key with
     | Some cid -> cid
     | None ->
-      let cid = Fair_share_inc.add_constraint fs cap in
+      let eff = if n_disr = 0 then cap else cap *. eff_factor key in
+      let cid = Fair_share_inc.add_constraint fs eff in
       Hashtbl.replace cap_index key cid;
+      if n_disr > 0 then registered := (key, cap, cid) :: !registered;
       cid
   in
   (* fid -> flow payload; fids are slot-reused, so this stays sized by
@@ -234,6 +288,7 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
     computing.(proc_of.(op)) <- false;
     if op = Optree.root tree then begin
       incr n_root_completions;
+      root_times := !now :: !root_times;
       if !now >= warmup then incr n_after_warmup
     end;
     match Optree.parent tree op with
@@ -304,7 +359,28 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
         (Download_due { proc; object_type; server })
       (* No dispatch: starting a download cannot make an operator
          ready, so the scan would be a guaranteed no-op. *)
+    | Disrupt { index; on } ->
+      (* Toggle the window and re-derive every matching constraint's
+         effective capacity from its nominal value.  Marking rates
+         dirty is enough: the slow path refreshes (and invalidates the
+         completion-time cache) before any rate is read again. *)
+      disr_active.(index) <- on;
+      List.iter
+        (fun (key, nominal, cid) ->
+          if scope_matches disr.(index).d_scope key then
+            Fair_share_inc.set_capacity fs cid (nominal *. eff_factor key))
+        !registered;
+      rates_dirty := true
   in
+  (* Schedule disruption boundaries.  Windows opening at or past the
+     horizon never fire; a close past the horizon is simply never
+     processed. *)
+  for i = 0 to n_disr - 1 do
+    if disr.(i).d_from < horizon then begin
+      Heap.push events disr.(i).d_from (Disrupt { index = i; on = true });
+      Heap.push events disr.(i).d_until (Disrupt { index = i; on = false })
+    end
+  done;
   (* --- main loop --- *)
   let t_flow_cache = ref infinity in
   let t_flow_valid = ref false in
@@ -425,6 +501,7 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
       download_delivered = !download_delivered;
       download_ideal = ideal;
       events = !n_events;
+      root_completions = Array.of_list (List.rev !root_times);
     }
   in
   Obs.add "sim.event" !n_events;
@@ -449,9 +526,9 @@ let run_impl ?window ?(horizon = 80.0) ?warmup ?(kernel = `Incremental) app
   end;
   report
 
-let run ?window ?horizon ?warmup ?kernel app platform alloc =
+let run ?window ?horizon ?warmup ?kernel ?disruptions app platform alloc =
   Obs.span "sim.run" (fun () ->
-      run_impl ?window ?horizon ?warmup ?kernel app platform alloc)
+      run_impl ?window ?horizon ?warmup ?kernel ?disruptions app platform alloc)
 
 let pp_report ppf r =
   Format.fprintf ppf

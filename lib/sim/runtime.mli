@@ -35,6 +35,10 @@ type report = {
   download_ideal : float;
       (** MB that would be delivered at the nominal refresh rates *)
   events : int;  (** discrete events processed *)
+  root_completions : float array;
+      (** ascending timestamps of every root-result completion — the
+          raw signal the fault engine turns into throughput dips and
+          recovery times *)
 }
 
 val sustains_target : report -> bool
@@ -42,11 +46,37 @@ val sustains_target : report -> bool
     fill and scheduling granularity, which the paper's fluid model does
     not account for. *)
 
+(** {1 Capacity disruptions (fault injection)}
+
+    A disruption multiplies the nominal capacity of every matching
+    bandwidth constraint by [d_factor] over the window
+    [[d_from, d_until)]: card jitter ([Proc_card]), a data-server
+    outage ([Server_card] with factor ~0) or a degraded link.  Windows
+    may overlap (factors multiply) and are applied through
+    {!Fair_share_inc.set_capacity}, so only the affected component is
+    re-waterfilled.  An empty disruption list leaves the run
+    bit-identical to one without the parameter. *)
+
+type scope =
+  | Proc_card of int  (** processor [u]'s network card *)
+  | Server_card of int  (** data server [l]'s card *)
+  | Proc_link of int * int
+      (** the processor pair's link, both directions *)
+  | Server_link of int * int  (** the (server, processor) link *)
+
+type disruption = {
+  d_scope : scope;
+  d_from : float;
+  d_until : float;  (** capacity restored at this instant *)
+  d_factor : float;  (** multiplier on the nominal capacity, >= 0 *)
+}
+
 val run :
   ?window:int ->
   ?horizon:float ->
   ?warmup:float ->
   ?kernel:Fair_share_inc.kernel ->
+  ?disruptions:disruption list ->
   Insp_tree.App.t ->
   Insp_platform.Platform.t ->
   Insp_mapping.Alloc.t ->
@@ -59,8 +89,9 @@ val run :
     [kernel] selects the fair-share solver (default [`Incremental]);
     both kernels are deterministic and produce identical reports — the
     [`Full] oracle exists for equivalence testing and debugging (see
-    {!Fair_share_inc}).  Requires every operator assigned
-    (checker-valid structure); capacity violations are allowed and
-    simply show up as reduced throughput. *)
+    {!Fair_share_inc}).  [disruptions] (default none) injects capacity
+    faults mid-run; see {!disruption}.  Requires every operator
+    assigned (checker-valid structure); capacity violations are allowed
+    and simply show up as reduced throughput. *)
 
 val pp_report : Format.formatter -> report -> unit

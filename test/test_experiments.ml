@@ -70,7 +70,7 @@ let test_series_and_winners () =
 (* Suite (quick mode)                                                  *)
 
 let test_all_ids_covered () =
-  Alcotest.(check int) "thirteen experiments" 13 (List.length Suite.all_ids);
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Suite.all_ids);
   List.iter
     (fun id ->
       match Suite.run_by_id ~quick:true id with
