@@ -212,15 +212,17 @@ let load path =
 
 let drift = ref 0
 
-(* Gauges named *_ms are wall-time measurements (e.g. the
-   journal.overhead row): informational like wall_s, so value changes
-   are reported but never counted as drift.  Appearing or vanishing
-   still drifts — the *set* of recorded metrics is part of the
-   contract. *)
+(* Gauges named *_ms or *_per_s are wall-time measurements or rates
+   derived from them (e.g. the journal.overhead and scale.* rows):
+   informational like wall_s, so value changes are reported but never
+   counted as drift.  Appearing or vanishing still drifts — the *set*
+   of recorded metrics is part of the contract. *)
 let timing_gauge name =
-  let suffix = "_ms" in
-  let n = String.length name and l = String.length suffix in
-  n >= l && String.sub name (n - l) l = suffix
+  let has_suffix suffix =
+    let n = String.length name and l = String.length suffix in
+    n >= l && String.sub name (n - l) l = suffix
+  in
+  has_suffix "_ms" || has_suffix "_per_s"
 
 let diff_values ~kind ~fmt old_vs new_vs =
   List.iter
@@ -244,6 +246,21 @@ let diff_values ~kind ~fmt old_vs new_vs =
 
 let fmt_count v = Printf.sprintf "%.0f" v
 let fmt_gauge v = Printf.sprintf "%.6g" v
+
+(* Rows that record a "wall_budget_s" gauge (the scale.* rows) carry a
+   hard wall-clock threshold: unlike ordinary wall-time drift, blowing
+   the budget in the CURRENT run fails the comparison even without
+   [--strict] — near-linear scaling is an acceptance criterion of the
+   candidate-queue data path (DESIGN.md §16), not advisory timing. *)
+let over_budget = ref 0
+
+let check_budget id (c : experiment) =
+  match List.assoc_opt "wall_budget_s" c.gauges with
+  | Some budget when c.wall_s > budget ->
+    incr over_budget;
+    Printf.printf "    %-10s %-40s wall %.2f s EXCEEDS budget %.2f s\n" "BUDGET"
+      id c.wall_s budget
+  | Some _ | None -> ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -273,9 +290,14 @@ let () =
           Printf.printf "  %-10s only in current\n" id
         end)
       new_exps;
+    List.iter (fun (id, c) -> check_budget id c) new_exps;
     if !drift = 0 then
       print_endline "no recorded-value drift (wall time is informational)"
     else Printf.printf "%d recorded value(s) drifted\n" !drift;
+    if !over_budget > 0 then begin
+      Printf.printf "%d row(s) over their wall-clock budget\n" !over_budget;
+      exit 1
+    end;
     if strict && !drift > 0 then exit 1
   | _ ->
     prerr_endline "usage: compare.exe BASELINE.json CURRENT.json [--strict]";

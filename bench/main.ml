@@ -253,6 +253,77 @@ let run_probe_bench ~quick () =
       probes_n probes_l groups_n groups_l
 
 (* ------------------------------------------------------------------ *)
+(* Scale rows: the candidate-queue greedy on 10k/100k-operator trees    *)
+
+(* Each scale row generates a Config.scale instance (tiny objects, so
+   the unchanged dell_2008 catalog still hosts the tree) and runs the
+   queue-based Comp-Greedy pipeline end to end — placement, server
+   selection, downgrade and the full checker.  The row records a hard
+   wall-clock budget (gauge "wall_budget_s"); bench/compare.exe fails
+   when a scale.* row exceeds its own budget (DESIGN.md §16). *)
+let scale_entry ~n ~budget_s name () =
+  line (Printf.sprintf "%s (%d-operator scale instance)" name n);
+  let inst =
+    match
+      Insp.Instance.generate_checked (Insp.Config.scale ~n_operators:n ())
+    with
+    | Ok t -> t
+    | Error e -> failwith (Insp.Instance.gen_error_message e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome, recorder =
+    Insp.Obs.with_sink (fun () ->
+        Insp.Solve.run ~seed:1
+          (Option.get (Insp.Solve.find "comp"))
+          inst.Insp.Instance.app inst.Insp.Instance.platform)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.set_gauge m "wall_budget_s" budget_s;
+  Insp.Obs_metrics.set_gauge m "scale.ops_per_s"
+    (float_of_int n /. Float.max wall_s 1e-9);
+  (match outcome with
+  | Ok o ->
+    Insp.Obs_metrics.incr ~by:o.Insp.Solve.n_procs m "scale.procs";
+    Printf.printf
+      "N=%d: %d processors, $%.0f in %.2f s (%.0f operators/s, budget %.1f s)\n%!"
+      n o.Insp.Solve.n_procs o.Insp.Solve.cost wall_s
+      (float_of_int n /. Float.max wall_s 1e-9)
+      budget_s
+  | Error f ->
+    Printf.printf "N=%d: FAILED: %s\n%!" n (Insp.Solve.failure_message f));
+  (name, wall_s, recorder)
+
+(* Ledger probe throughput at scale, as a tracked JSON row
+   (run_probe_bench below prints the ledger-vs-naive comparison on a
+   paper-sized instance; this row sizes the ledger path alone on a
+   scale-preset tree). *)
+let probe_throughput_entry ~quick () =
+  line "probe throughput (ledger greedy first-fit, scale preset)";
+  let n = if quick then 500 else 2000 in
+  let inst =
+    match
+      Insp.Instance.generate_checked (Insp.Config.scale ~n_operators:n ())
+    with
+    | Ok t -> t
+    | Error e -> failwith (Insp.Instance.gen_error_message e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let probes, groups =
+    greedy_ledger inst.Insp.Instance.app inst.Insp.Instance.platform
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let tput = float_of_int probes /. Float.max wall_s 1e-9 in
+  Printf.printf "N=%d: %d probes, %d groups in %.3f s (%.0f probes/s)\n%!" n
+    probes groups wall_s tput;
+  let recorder = Insp.Obs.create () in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.incr ~by:probes m "probe.probes";
+  Insp.Obs_metrics.incr ~by:groups m "probe.groups";
+  Insp.Obs_metrics.set_gauge m "probe.probes_per_s" tput;
+  ("probe.throughput", wall_s, recorder)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment             *)
 
 let fixed_instance ?(n = 60) ?(alpha = 0.9) ?sizes ?freq () =
@@ -614,7 +685,14 @@ let () =
         faults_repair_entry ~quick ();
         faults_frontier_entry ~quick ();
         lint_entry ~quick ();
+        probe_throughput_entry ~quick ();
+        scale_entry ~n:10_000 ~budget_s:1.0 "scale.10k" ();
       ]
+    (* the 100k row is capped out of --quick runs: it is the acceptance
+       row for the candidate-queue refactor (< 1 s single-threaded),
+       not a per-commit smoke check *)
+    @ (if quick then []
+       else [ scale_entry ~n:100_000 ~budget_s:1.0 "scale.100k" () ])
   in
   (match json_file with
   | Some file ->

@@ -158,7 +158,9 @@ let journaled_solve ~n ~alpha ~sizes ~freq ~seed ~heuristic ~depth () =
             ( "sizes",
               match sizes with
               | Insp.Config.Small -> "small"
-              | Insp.Config.Large -> "large" );
+              | Insp.Config.Large -> "large"
+              | Insp.Config.Custom_sizes (lo, hi) ->
+                Printf.sprintf "custom(%g..%g)" lo hi );
             ( "freq",
               match freq with
               | Insp.Config.High -> "high"

@@ -133,7 +133,10 @@ let merge_sweeps ?(seeds = default_seeds)
   List.iter
     (fun (n, sizes) ->
       let size_name =
-        match sizes with Config.Small -> "small" | Config.Large -> "large"
+        match sizes with
+        | Config.Small -> "small"
+        | Config.Large -> "large"
+        | Config.Custom_sizes (lo, hi) -> Printf.sprintf "custom(%g..%g)" lo hi
       in
       let run enabled seed =
         let inst =
@@ -285,7 +288,10 @@ let server_selection ?(seeds = default_seeds)
   List.iter
     (fun (n, sizes) ->
       let size_name =
-        match sizes with Config.Small -> "small" | Config.Large -> "large"
+        match sizes with
+        | Config.Small -> "small"
+        | Config.Large -> "large"
+        | Config.Custom_sizes (lo, hi) -> Printf.sprintf "custom(%g..%g)" lo hi
       in
       let config = Config.make ~n_operators:n ~alpha:0.9 ~sizes () in
       let runs select =

@@ -93,11 +93,14 @@ let candidate_flows t ~members ~ignore_groups =
   let tree = App.tree t.app in
   let rho = App.rho t.app in
   let acc = ref [] in
+  (* lint: allow p3 — the delta assoc list holds the O(degree) groups
+     adjacent to [members], never all live groups *)
   let bump v w =
     if not (List.mem v ignore_groups) then begin
       let prev = Option.value ~default:0.0 (List.assoc_opt v !acc) in
       acc := (v, prev +. w) :: List.remove_assoc v !acc
     end
+  [@@lint.allow "p3"]
   in
   List.iter
     (fun m ->
@@ -134,6 +137,7 @@ let cheapest_hosting t ~members ?(ignore_groups = []) () =
   let found =
     if not flows_fit then None
     else
+      (* lint: allow p3 — catalog scan is bounded by the config count *)
       List.find_opt
         (fun cfg -> Demand.fits cfg d)
         (Catalog.configs t.platform.Platform.catalog)
@@ -240,6 +244,7 @@ let cheapest_for t probe =
   let found =
     if not flows_fit then None
     else
+      (* lint: allow p3 — catalog scan is bounded by the config count *)
       List.find_opt
         (fun cfg -> Demand.fits cfg probe.Ledger.demand)
         (Catalog.configs t.platform.Platform.catalog)

@@ -1,0 +1,110 @@
+type 'a entry = { score : float; tie : int; gen : int; v : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let size q = q.len
+let is_empty q = q.len = 0
+
+(* Max-queue: higher score first, ties by lower [tie].  Scores are
+   operator works — finite, never NaN. *)
+let before a b = a.score > b.score || (a.score = b.score && a.tie < b.tie)
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.data.(i) q.data.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let first = ref i in
+  if left < q.len && before q.data.(left) q.data.(!first) then first := left;
+  if right < q.len && before q.data.(right) q.data.(!first) then first := right;
+  if !first <> i then begin
+    swap q i !first;
+    sift_down q !first
+  end
+
+let push q ~score ~tie ~gen v =
+  let entry = { score; tie; gen; v } in
+  let cap = Array.length q.data in
+  if q.len = cap then begin
+    let data = Array.make (max 8 (2 * cap)) entry in
+    Array.blit q.data 0 data 0 q.len;
+    q.data <- data
+  end;
+  q.data.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let e = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      sift_down q 0
+    end;
+    Some (e.v, e.gen)
+  end
+
+let rec pop_valid q ~gen_of =
+  match pop q with
+  | None -> None
+  | Some (v, gen) -> if gen_of v = gen then Some v else pop_valid q ~gen_of
+
+(* ------------------------------------------------------------------ *)
+
+module Rank = struct
+  type t = { order : int array; nxt : int array }
+
+  let of_order order =
+    { order = Array.copy order; nxt = Array.init (Array.length order) Fun.id }
+
+  let length t = Array.length t.order
+  let element t pos = t.order.(pos)
+
+  let reset t = Array.iteri (fun i _ -> t.nxt.(i) <- i) t.nxt
+
+  let first t ~alive pos =
+    let n = Array.length t.order in
+    let p = ref pos in
+    let stop = ref false in
+    (* Chase [nxt] jumps and dead singles until an alive element (or the
+       end).  [nxt.(i) = j > i] certifies that positions i..j-1 held dead
+       elements when the jump was written; [reset] must be called if a
+       dead element can come back to life. *)
+    while not !stop do
+      if !p >= n then stop := true
+      else begin
+        let q = t.nxt.(!p) in
+        if q > !p then p := q
+        else if alive t.order.(!p) then stop := true
+        else p := !p + 1
+      end
+    done;
+    let res = !p in
+    (* Path compression: point the whole chased chain at the result. *)
+    let q = ref pos in
+    while !q < res && !q < n do
+      let step =
+        let k = t.nxt.(!q) in
+        if k > !q then k else !q + 1
+      in
+      t.nxt.(!q) <- res;
+      q := step
+    done;
+    res
+end

@@ -1,0 +1,60 @@
+(** Candidate priority queues for the greedy heuristics (DESIGN.md §16).
+
+    Two structures back the queue-based greedy loops:
+
+    {b Lazy-deletion heap with generation stamps} ([t]): a max-queue of
+    scored candidates.  Instead of deleting a candidate when the ledger
+    state it was scored against changes, the mutation bumps the
+    candidate's {e current} generation counter; {!pop_valid} silently
+    discards popped entries whose stored stamp is stale.  Invalidation
+    is therefore O(1) per touched candidate (bump + optional re-push
+    with the new stamp) — no heap surgery — and a stale candidate can
+    never win a pop.
+
+    {b Static rank walker} ([Rank]): the greedy fill order of
+    Comp-Greedy is a {e static} permutation (operators by non-increasing
+    work).  [Rank] walks it skipping dead (already-assigned) elements in
+    near-constant amortised time via path-compressed skip pointers —
+    the "successor with deletion" structure.  Compression assumes
+    monotone deletion; {!Rank.reset} forgets it when a sell resurrects
+    operators. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> score:float -> tie:int -> gen:int -> 'a -> unit
+(** Insert with priority (score descending, then [tie] ascending) and
+    the candidate's generation stamp at push time. *)
+
+val pop : 'a t -> ('a * int) option
+(** Highest-priority entry with its stored stamp, stale or not. *)
+
+val pop_valid : 'a t -> gen_of:('a -> int) -> 'a option
+(** Pops until an entry whose stored stamp equals [gen_of] of its value;
+    stale entries are discarded permanently (their candidate was
+    re-pushed with the newer stamp if still relevant). *)
+
+module Rank : sig
+  type t
+
+  val of_order : int array -> t
+  (** The elements in priority order (copied). *)
+
+  val length : t -> int
+
+  val element : t -> int -> int
+  (** Element at a position of the order. *)
+
+  val first : t -> alive:(int -> bool) -> int -> int
+  (** [first t ~alive pos] — smallest position [>= pos] whose element is
+      alive, or [length t]; compresses skip pointers over the dead
+      prefix it crossed. *)
+
+  val reset : t -> unit
+  (** Invalidate all compression (call after a dead element was brought
+      back to life). *)
+end

@@ -97,7 +97,7 @@ let with_collapse_rounds n f =
   collapse_rounds := n;
   Fun.protect ~finally:(fun () -> collapse_rounds := saved) f
 
-let acquire_with_grouping b ~style op =
+let acquire_with_grouping ?(on_release = fun _ -> ()) b ~style op =
   let app = Builder.app b in
   let rec grow members rounds =
     match acquire_for b ~style members with
@@ -109,7 +109,10 @@ let acquire_with_grouping b ~style op =
         | None -> Error e
         | Some neighbor ->
           (match Builder.assignment b neighbor with
-          | Some gid -> Builder.sell b gid
+          | Some gid ->
+            let released = Builder.members b gid in
+            Builder.sell b gid;
+            List.iter on_release released
           | None -> ());
           grow (neighbor :: members) (rounds - 1))
   in

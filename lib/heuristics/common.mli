@@ -26,6 +26,7 @@ val acquire_for :
     them. *)
 
 val acquire_with_grouping :
+  ?on_release:(int -> unit) ->
   Builder.t -> style:style -> int -> (Builder.group_id, string) result
 (** The paper's grouping fallback (Random / Comp-Greedy), applied
     iteratively: buy a processor for [op]; while that fails, pull in the
@@ -33,7 +34,11 @@ val acquire_with_grouping :
     neighbour's current processor if it had one (its co-located operators
     return to the unassigned pool) — and retry, up to a bounded number of
     rounds.  Iteration (vs the paper's single pairing) is required when a
-    chain of tree edges each exceeds the processor-link bandwidth. *)
+    chain of tree edges each exceeds the processor-link bandwidth.
+    [on_release] is called once per operator returned to the unassigned
+    pool by a sell, after the sell committed — the candidate-queue
+    heuristics use it to re-stamp and re-enqueue resurrected
+    candidates. *)
 
 val object_set : Insp_tree.App.t -> int -> int list
 (** Distinct object types operator [i] downloads. *)

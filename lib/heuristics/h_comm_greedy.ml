@@ -1,5 +1,6 @@
 module App = Insp_tree.App
 module Optree = Insp_tree.Optree
+module Ledger = Insp_mapping.Ledger
 
 (* All parent edges, heaviest communication first. *)
 let edges_by_weight_desc app =
@@ -46,26 +47,54 @@ let with_merge_sweeps enabled f =
   merge_sweeps_enabled := enabled;
   Fun.protect ~finally:(fun () -> merge_sweeps_enabled := saved) f
 
+(* Ablation knob: disable the per-edge failed-probe cache below and
+   re-probe every cross-processor edge on every sweep, like the legacy
+   implementation.  Not thread-safe. *)
+let probe_cache_enabled = ref true
+
+let with_probe_cache enabled f =
+  let saved = !probe_cache_enabled in
+  probe_cache_enabled := enabled;
+  Fun.protect ~finally:(fun () -> probe_cache_enabled := saved) f
+
 (* Case (iii) of the paper: for edges whose endpoints ended up on two
    different processors, try to accommodate both groups on one processor
    and sell the other.  Processing edges heaviest-first means both
    endpoints are rarely assigned when an edge is first visited, so the
-   merge case is swept repeatedly until it stops firing. *)
+   merge case is swept repeatedly until it stops firing.
+
+   Re-probing an edge whose endpoint groups have not changed since both
+   merge directions last failed must fail again: the absorb verdict
+   depends only on the two groups' ledger state (loads, flows, needs)
+   and the static catalog, every observable change of which bumps the
+   groups' generation stamps (Ledger.generation).  Caching the failed
+   [(group, stamp)] pair per edge therefore skips exactly the probes
+   that cannot fire, making each quiescent sweep O(live edges) instead
+   of O(edges × probe). *)
 let merge_sweeps b app edges =
+  let led = Builder.ledger b in
+  let edges = Array.of_list edges in
+  let failed = Array.make (Array.length edges) (-1, -1, -1, -1) in
+  let use_cache = !probe_cache_enabled in
   let rec sweep budget =
     if budget > 0 then begin
-      let changed =
-        List.fold_left
-          (fun acc (i, p, _) ->
-            match (Builder.assignment b i, Builder.assignment b p) with
-            | Some gi, Some gp when gi <> gp ->
+      let changed = ref false in
+      Array.iteri
+        (fun idx (i, p, _) ->
+          match (Builder.assignment b i, Builder.assignment b p) with
+          | Some gi, Some gp when gi <> gp ->
+            let key =
+              (gi, Ledger.generation led gi, gp, Ledger.generation led gp)
+            in
+            if use_cache && failed.(idx) = key then ()
+            else if
               Builder.try_absorb_upgrade b gi gp
               || Builder.try_absorb_upgrade b gp gi
-              || acc
-            | _ -> acc)
-          false edges
-      in
-      if changed then sweep (budget - 1)
+            then changed := true
+            else failed.(idx) <- key
+          | _ -> ())
+        edges;
+      if !changed then sweep (budget - 1)
     end
   in
   sweep (App.n_operators app)

@@ -102,18 +102,59 @@ let random rng app platform ~groups =
   in
   loop ()
 
+(* The three rules each visit "the groups still needing object k".  The
+   legacy implementation rescanned (and on every assignment re-filtered)
+   the whole needs list, turning selection into O(needs²); here the
+   needs are bucketed per object once, assignment flips an
+   assigned-flag, and a rule visit filters one bucket by the flags —
+   every pending entry is touched O(1) times per rule.  Bucket order is
+   the needs-list order restricted to the object, exactly what the
+   legacy List.filter produced, so the visit order — and the journal —
+   is unchanged. *)
 let sophisticated_core st =
   let exception Failed of string in
+  let all_needs = !(st.needs) in
+  let objects_in_needs = List.sort_uniq compare (List.map snd all_needs) in
+  let bucket : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (u, k) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt bucket k) in
+      Hashtbl.replace bucket k (u :: prev))
+    all_needs;
+  List.iter
+    (fun k -> Hashtbl.replace bucket k (List.rev (Hashtbl.find bucket k)))
+    objects_in_needs;
+  let assigned : (int * int, unit) Hashtbl.t =
+    Hashtbl.create (List.length all_needs)
+  in
+  let pending_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace pending_count k (List.length (Hashtbl.find bucket k)))
+    objects_in_needs;
+  let n_pending k = Option.value ~default:0 (Hashtbl.find_opt pending_count k) in
+  let needing k =
+    List.filter
+      (fun u -> not (Hashtbl.mem assigned (u, k)))
+      (Option.value ~default:[] (Hashtbl.find_opt bucket k))
+  in
+  let assign_need u k l =
+    let rate = st.rate k in
+    st.card_left.(l) <- st.card_left.(l) -. rate;
+    st.link_left.(l).(u) <- st.link_left.(l).(u) -. rate;
+    st.chosen.(u) <- (k, l) :: st.chosen.(u);
+    Hashtbl.replace assigned (u, k) ();
+    Hashtbl.replace pending_count k (n_pending k - 1)
+  in
   try
     (* Loop 1: forced downloads of single-server objects. *)
     List.iter
       (fun (k, l) ->
-        let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
         List.iter
-          (fun (u, _) ->
+          (fun u ->
             if can_provide st l u k then begin
               note_download u k l ~rule:"exclusive" ~candidates:(fun () -> [ l ]);
-              assign st u k l
+              assign_need u k l
             end
             else
               let msg =
@@ -122,32 +163,29 @@ let sophisticated_core st =
               in
               note_failed u k msg;
               raise (Failed msg))
-          needing)
+          (needing k))
       (Servers.exclusive_objects st.servers);
     (* Loop 2: saturate single-object servers. *)
     List.iter
       (fun l ->
         match Servers.objects_on st.servers l with
         | [ k ] ->
-          let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
           List.iter
-            (fun (u, _) ->
+            (fun u ->
               if can_provide st l u k then begin
                 note_download u k l ~rule:"single_object"
                   ~candidates:(fun () -> [ l ]);
-                assign st u k l
+                assign_need u k l
               end)
-            needing
+            (needing k)
         | _ -> ())
       (Servers.single_object_servers st.servers);
     (* Loop 3: remaining needs, objects in decreasing nbP / nbS. *)
     let remaining_objects =
-      List.sort_uniq compare (List.map snd !(st.needs))
+      List.filter (fun k -> n_pending k > 0) objects_in_needs
     in
     let ratio k =
-      let nb_p =
-        List.length (List.filter (fun (_, k') -> k' = k) !(st.needs))
-      in
+      let nb_p = n_pending k in
       let nb_s =
         (* Links are per processor, so judge a server's ability by its
            remaining card capacity. *)
@@ -159,17 +197,16 @@ let sophisticated_core st =
       if nb_s = 0 then infinity else float_of_int nb_p /. float_of_int nb_s
     in
     let ordered =
-      List.sort
-        (fun a b ->
-          let c = compare (ratio b) (ratio a) in
-          if c <> 0 then c else compare a b)
-        remaining_objects
+      List.map (fun k -> (k, ratio k)) remaining_objects
+      |> List.sort (fun (a, ra) (b, rb) ->
+             let c = compare rb ra in
+             if c <> 0 then c else compare a b)
+      |> List.map fst
     in
     List.iter
       (fun k ->
-        let needing = List.filter (fun (_, k') -> k' = k) !(st.needs) in
         List.iter
-          (fun (u, _) ->
+          (fun u ->
             let best =
               Servers.providers st.servers k
               |> List.filter (fun l -> can_provide st l u k)
@@ -183,7 +220,7 @@ let sophisticated_core st =
             match best with
             | l :: _ ->
               note_download u k l ~rule:"ratio" ~candidates:(fun () -> best);
-              assign st u k l
+              assign_need u k l
             | [] ->
               let msg =
                 Printf.sprintf
@@ -192,7 +229,7 @@ let sophisticated_core st =
               in
               note_failed u k msg;
               raise (Failed msg))
-          needing)
+          (needing k))
       ordered;
     Ok (finish st)
   with Failed msg -> Error msg

@@ -52,6 +52,7 @@ let all =
 
 let find ident =
   let ident = String.lowercase_ascii ident in
+  (* lint: allow p3 — registry lookup over the paper's six heuristics *)
   List.find_opt
     (fun h -> h.key = ident || String.lowercase_ascii h.name = ident)
     all

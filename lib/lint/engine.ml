@@ -58,6 +58,16 @@ let engine_library file =
 
 let hash_order_scoped = engine_library
 
+(* P3 scope — the libraries on the 100k-operator data path, where an
+   O(n) list search inside a loop turns the whole pass quadratic.  The
+   arena/SoA refactor (DESIGN.md §16) indexes this state by dense int
+   id; new code reaching for an assoc list must either do the same or
+   justify the bounded scan with an explicit suppression. *)
+let linear_scan_scoped file =
+  match path_parts file with
+  | "lib" :: ("mapping" | "heuristics" | "sim") :: _ -> true
+  | _ -> false
+
 exception Parse_error of string
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +180,7 @@ type ctx = {
   domain_ok : bool;
   decision_scoped : bool;
   hash_scoped : bool;
+  scan_scoped : bool;
   suppress : Suppress.t;
   mutable sort_depth : int;
   mutable allow_stack : Rule.t list list;
@@ -228,12 +239,23 @@ let check_ident ctx loc path =
           deterministic"
          (String.concat "." path))
   | _ -> ());
-  match path with
+  (match path with
   | ([ "List"; ("hd" | "nth") ] | [ "Option"; "get" ]) when ctx.scope = Lib ->
     report ctx Rule.P1 loc
       (Printf.sprintf
          "partial call %s may raise; match totally or justify a suppression"
          (String.concat "." path))
+  | _ -> ());
+  match path with
+  | [ "List";
+      (( "assoc" | "assoc_opt" | "mem_assoc" | "remove_assoc" | "find"
+       | "find_opt" | "find_map" ) as fn) ]
+    when ctx.scan_scoped ->
+    report ctx Rule.P3 loc
+      (Printf.sprintf
+         "List.%s is a linear scan in a hot-path library; index by int id \
+          (arena/SoA column) or justify the bounded scan with a suppression"
+         fn)
   | _ -> ()
 
 let check_expr ctx e =
@@ -250,8 +272,8 @@ let check_expr ctx e =
         report ctx Rule.D6 e.pexp_loc
           (Printf.sprintf
              "Hashtbl.%s iterates in hash order inside an engine library; \
-              iterate a key-sorted snapshot (cf. Ledger.sorted_bindings) or \
-              pipe the result through List.sort"
+              iterate a key-sorted snapshot or pipe the result through \
+              List.sort"
              fn)
       | Some fn
         when ctx.sort_depth = 0
@@ -333,6 +355,7 @@ let lint_source ~file source =
       domain_ok = domain_spawn_sanctioned file;
       decision_scoped = decision_output_scoped file;
       hash_scoped = hash_order_scoped file;
+      scan_scoped = linear_scan_scoped file;
       suppress;
       sort_depth = 0;
       allow_stack = [];

@@ -1,6 +1,6 @@
-type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2 | T1 | T2 | T3
+type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2 | P3 | T1 | T2 | T3
 
-let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2; T1; T2; T3 ]
+let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2; P3; T1; T2; T3 ]
 
 let id = function
   | D1 -> "D1"
@@ -12,6 +12,7 @@ let id = function
   | F1 -> "F1"
   | P1 -> "P1"
   | P2 -> "P2"
+  | P3 -> "P3"
   | T1 -> "T1"
   | T2 -> "T2"
   | T3 -> "T3"
@@ -27,6 +28,7 @@ let of_string s =
   | "f1" -> Some F1
   | "p1" -> Some P1
   | "p2" -> Some P2
+  | "p3" -> Some P3
   | "t1" -> Some T1
   | "t2" -> Some T2
   | "t3" -> Some T3
@@ -50,6 +52,9 @@ let synopsis = function
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"
+  | P3 ->
+    "linear list search (List.assoc/List.find family) in a hot-path library; \
+     index by int id (arena/SoA column, array) or justify the bounded scan"
   | T1 ->
     "static race: a Domain.spawn closure transitively reaches top-level \
      mutable state shared across domains"

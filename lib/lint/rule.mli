@@ -25,6 +25,13 @@ type t =
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
+  | P3
+      (** no linear list search ([List.assoc]/[List.find] families) in
+          the hot-path libraries [lib/{mapping,heuristics,sim}] — the
+          100k-operator data path indexes by dense int id (arena/SoA
+          columns); a bounded scan (catalog, heuristic registry,
+          O(degree) probe deltas) is kept with
+          [(* lint: allow p3 — reason *)] *)
   | T1
       (** {e typedtree, whole-program}: no [Domain.spawn] closure may
           transitively reach top-level mutable state (refs, arrays,
@@ -43,7 +50,7 @@ type t =
           examples) *)
 
 val all : t list
-(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2, T1, T2, T3. *)
+(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2, P3, T1, T2, T3. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)

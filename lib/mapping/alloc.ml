@@ -60,6 +60,12 @@ let with_config t u config =
   procs.(u) <- { procs.(u) with config };
   { t with procs }
 
+let with_configs t configs =
+  if Array.length configs <> Array.length t.procs then
+    invalid_arg "Alloc.with_configs: array length mismatch";
+  let procs = Array.mapi (fun u p -> { p with config = configs.(u) }) t.procs in
+  { t with procs }
+
 let with_downloads t downloads =
   if Array.length downloads <> Array.length t.procs then
     invalid_arg "Alloc.with_downloads: array length mismatch";

@@ -50,6 +50,12 @@ val with_config : t -> int -> Insp_platform.Catalog.config -> t
 (** Functional update of one processor's configuration (downgrade
     step). *)
 
+val with_configs : t -> Insp_platform.Catalog.config array -> t
+(** Replaces every processor's configuration in one structural copy —
+    the downgrade pass over a large allocation would otherwise pay one
+    O(procs) array copy per processor.  The array is indexed by
+    processor and must cover all of them. *)
+
 val with_downloads : t -> (int * int) list array -> t
 (** Replaces every processor's download plan (server-selection step).
     The array is indexed by processor. *)

@@ -143,10 +143,50 @@ let capacity_violations app platform alloc =
         (Server_card_overload
            { server = l; load = !total; capacity = Servers.card servers l })
   done;
-  (* Constraint (5), per processor pair. *)
+  (* Constraint (5), per processor pair: one pass over the tree edges
+     instead of probing all O(procs²) pairs through [pair_flow].  Each
+     directed accumulator receives its contributions in exactly the
+     order [pair_flow u v] summed them (hosts in ascending index order,
+     members in list order, children in tree order), so the reported
+     loads are bit-identical; pairs no edge touches carry zero flow and
+     can never exceed the non-negative capacity. *)
+  let tree = App.tree app in
+  let rho = App.rho app in
+  (* Directed pairs are encoded as [u * n_procs + v]: the encoding is
+     monotone in lexicographic (u, v) order (v < n_procs), so sorting
+     the encoded undirected pairs visits them in the same order as
+     sorting the tuples — and int keys keep the hot inner loop free of
+     tuple allocation and polymorphic-hash traversal. *)
+  let enc u v = (u * n_procs) + v in
+  let into : (int, float) Hashtbl.t = Hashtbl.create (4 * n_procs) in
+  let pairs = ref [] in
   for u = 0 to n_procs - 1 do
-    for v = u + 1 to n_procs - 1 do
-      let flow = pair_flow app alloc u v in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            match Alloc.assignment alloc j with
+            | Some v when v <> u ->
+              if
+                (not (Hashtbl.mem into (enc u v)))
+                && not (Hashtbl.mem into (enc v u))
+              then pairs := enc (min u v) (max u v) :: !pairs;
+              let prev =
+                Option.value ~default:0.0 (Hashtbl.find_opt into (enc u v))
+              in
+              Hashtbl.replace into (enc u v)
+                (prev +. (rho *. App.output_size app j))
+            | _ -> ())
+          (Optree.children tree i))
+      (Alloc.operators_of alloc u)
+  done;
+  List.iter
+    (fun key ->
+      let u = key / n_procs and v = key mod n_procs in
+      let directed a b =
+        Option.value ~default:0.0 (Hashtbl.find_opt into (enc a b))
+      in
+      let flow = directed u v +. directed v u in
       if exceeds flow platform.Platform.proc_link then
         add
           (Proc_link_overload
@@ -155,9 +195,8 @@ let capacity_violations app platform alloc =
                proc_b = v;
                load = flow;
                capacity = platform.Platform.proc_link;
-             })
-    done
-  done;
+             }))
+    (List.sort_uniq compare !pairs);
   List.rev !acc
 
 let check app platform alloc =

@@ -3,6 +3,8 @@ module Optree = Insp_tree.Optree
 module Catalog = Insp_platform.Catalog
 module Platform = Insp_platform.Platform
 module Servers = Insp_platform.Servers
+module Arena = Insp_util.Arena
+module Imap = Map.Make (Int)
 
 type proc_id = int
 
@@ -11,33 +13,36 @@ type proc_id = int
    lives on the neighbour; [in_w] is the opposite direction.  [edges]
    counts contributing tree edges so the entry can be dropped exactly
    when it empties (killing float drift). *)
-type flow = { mutable out_w : float; mutable in_w : float; mutable edges : int }
+type flow = { out_w : float; in_w : float; edges : int }
 
-type link = { mutable l_load : float; mutable l_entries : int }
+let no_flow = { out_w = 0.0; in_w = 0.0; edges = 0 }
 
-type pinfo = {
-  mutable config : Catalog.config;
-  mutable members : int list;  (* sorted *)
-  mutable compute : float;
-  mutable comm_in : float;
-  mutable comm_out : float;
-  needs : (int, int) Hashtbl.t;  (* object type -> #hosted operators needing it *)
-  mutable need_rate : float;  (* download rate of the distinct needed objects *)
-  dls : (int, int list) Hashtbl.t;  (* object type -> sorted distinct servers *)
-  mutable dl_rate : float;  (* total planned download rate (MB/s) *)
-  mutable dl_entries : int;
-  flows : (proc_id, flow) Hashtbl.t;
-}
-
+(* Structure-of-arrays processor state: every per-processor quantity is
+   an [Arena] column keyed by the processor id.  Scalar loads live in
+   unboxed float columns; the keyed interior tables (needed objects,
+   download plan, pair flows) are int-keyed persistent maps whose
+   ascending-key iteration replaces the old sort-a-Hashtbl-snapshot
+   sweeps — same observable order, no per-query sort. *)
 type t = {
   app : App.t;
   platform : Platform.t;
-  procs : (proc_id, pinfo) Hashtbl.t;
+  arena : Arena.t;  (* processor id allocator + generation stamps *)
+  config : Catalog.config Arena.col;
+  members : int list Arena.col;  (* sorted *)
+  compute : Arena.fcol;
+  comm_in : Arena.fcol;
+  comm_out : Arena.fcol;
+  needs : int Imap.t Arena.col;  (* object type -> #hosted operators needing it *)
+  need_rate : Arena.fcol;  (* download rate of the distinct needed objects *)
+  dls : int list Imap.t Arena.col;  (* object type -> sorted distinct servers *)
+  dl_rate : Arena.fcol;  (* total planned download rate (MB/s) *)
+  dl_entries : int Arena.col;
+  flows : flow Imap.t Arena.col;
   assign : proc_id option array;
-  mutable next_id : int;
   card_load : float array;  (* per-server aggregate download load *)
   card_entries : int array;
-  links : (int * proc_id, link) Hashtbl.t;  (* (server, proc) link load *)
+  link_load : Arena.fcol array;  (* per server: processor -> link load *)
+  link_entries : int Arena.col array;
 }
 
 type probe = { demand : Demand.t; pair_flows : (proc_id * float) list }
@@ -47,60 +52,76 @@ let create app platform =
   {
     app;
     platform;
-    procs = Hashtbl.create 32;
+    arena = Arena.create ();
+    config = Arena.col (Catalog.cheapest platform.Platform.catalog);
+    members = Arena.col [];
+    compute = Arena.fcol 0.0;
+    comm_in = Arena.fcol 0.0;
+    comm_out = Arena.fcol 0.0;
+    needs = Arena.col Imap.empty;
+    need_rate = Arena.fcol 0.0;
+    dls = Arena.col Imap.empty;
+    dl_rate = Arena.fcol 0.0;
+    dl_entries = Arena.col 0;
+    flows = Arena.col Imap.empty;
     assign = Array.make (App.n_operators app) None;
-    next_id = 0;
     card_load = Array.make n_servers 0.0;
     card_entries = Array.make n_servers 0;
-    links = Hashtbl.create 64;
+    link_load = Array.init n_servers (fun _ -> Arena.fcol 0.0);
+    link_entries = Array.init n_servers (fun _ -> Arena.col 0);
   }
 
-let proc t u =
-  match Hashtbl.find_opt t.procs u with
-  | Some p -> p
-  | None -> invalid_arg "Ledger: dead processor id"
+let check_live t u =
+  if not (Arena.is_live t.arena u) then invalid_arg "Ledger: dead processor id"
 
-let n_procs t = Hashtbl.length t.procs
+let n_procs t = Arena.n_live t.arena
+let proc_ids t = Arena.live_ids t.arena
+let mem_proc t u = Arena.is_live t.arena u
+let generation t u = Arena.generation t.arena u
 
-let proc_ids t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.procs [] |> List.sort compare
+(* Every mutation of a processor's observable state bumps its stamp, so
+   cached probe verdicts keyed by (id, generation) invalidate exactly
+   when the probed state could have changed — including flow updates
+   caused by a *neighbour's* membership edit. *)
+let bump t u = Arena.touch t.arena u
 
-(* Deterministic iteration: hash order must never reach an observable
-   output (violation lists, probes, float sums), so every fold/iter over
-   a live table below goes through a key-sorted snapshot.  Lint rule D6
-   enforces this discipline in engine libraries. *)
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let config t u =
+  check_live t u;
+  Arena.get t.config u
 
-let mem_proc t u = Hashtbl.mem t.procs u
-let config t u = (proc t u).config
-let set_config t u cfg = (proc t u).config <- cfg
-let operators_of t u = (proc t u).members
+let set_config t u cfg =
+  check_live t u;
+  Arena.set t.config u cfg;
+  bump t u
+
+let operators_of t u =
+  check_live t u;
+  Arena.get t.members u
+
 let assignment t i = t.assign.(i)
-let downloads_list p =
-  Hashtbl.fold (fun k ls acc -> List.map (fun l -> (k, l)) ls @ acc) p.dls []
-  |> List.sort compare
 
-let downloads_of t u = downloads_list (proc t u)
+let downloads_list t u =
+  List.concat_map
+    (fun (k, ls) -> List.map (fun l -> (k, l)) ls)
+    (Imap.bindings (Arena.get t.dls u))
+
+let downloads_of t u =
+  check_live t u;
+  downloads_list t u
 
 let add_proc t cfg =
-  let id = t.next_id in
-  t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.procs id
-    {
-      config = cfg;
-      members = [];
-      compute = 0.0;
-      comm_in = 0.0;
-      comm_out = 0.0;
-      needs = Hashtbl.create 8;
-      need_rate = 0.0;
-      dls = Hashtbl.create 8;
-      dl_rate = 0.0;
-      dl_entries = 0;
-      flows = Hashtbl.create 8;
-    };
+  let id = Arena.alloc t.arena in
+  Arena.set t.config id cfg;
+  Arena.set t.members id [];
+  Arena.fset t.compute id 0.0;
+  Arena.fset t.comm_in id 0.0;
+  Arena.fset t.comm_out id 0.0;
+  Arena.set t.needs id Imap.empty;
+  Arena.fset t.need_rate id 0.0;
+  Arena.set t.dls id Imap.empty;
+  Arena.fset t.dl_rate id 0.0;
+  Arena.set t.dl_entries id 0;
+  Arena.set t.flows id Imap.empty;
   id
 
 (* ------------------------------------------------------------------ *)
@@ -116,36 +137,43 @@ let uniq_leaves tree i = List.sort_uniq compare (Optree.leaves tree i)
 (* ------------------------------------------------------------------ *)
 (* Pair-flow bookkeeping                                               *)
 
-let flow_entry p v =
-  match Hashtbl.find_opt p.flows v with
+let flow_of t u v =
+  match Imap.find_opt v (Arena.get t.flows u) with
   | Some f -> f
-  | None ->
-    let f = { out_w = 0.0; in_w = 0.0; edges = 0 } in
-    Hashtbl.replace p.flows v f;
-    f
+  | None -> no_flow
 
 (* Record one tree edge whose child lives on [child_proc] and whose
    parent lives on [parent_proc], carrying [w] MB/s. *)
 let add_edge_flow t ~child_proc ~parent_proc w =
-  let pc = proc t child_proc and pp = proc t parent_proc in
-  let fc = flow_entry pc parent_proc and fp = flow_entry pp child_proc in
-  fc.out_w <- fc.out_w +. w;
-  fc.edges <- fc.edges + 1;
-  fp.in_w <- fp.in_w +. w;
-  fp.edges <- fp.edges + 1
+  let fc = flow_of t child_proc parent_proc in
+  let fp = flow_of t parent_proc child_proc in
+  Arena.set t.flows child_proc
+    (Imap.add parent_proc
+       { fc with out_w = fc.out_w +. w; edges = fc.edges + 1 }
+       (Arena.get t.flows child_proc));
+  Arena.set t.flows parent_proc
+    (Imap.add child_proc
+       { fp with in_w = fp.in_w +. w; edges = fp.edges + 1 }
+       (Arena.get t.flows parent_proc));
+  bump t child_proc;
+  bump t parent_proc
 
 let remove_edge_flow t ~child_proc ~parent_proc w =
-  let pc = proc t child_proc and pp = proc t parent_proc in
-  let fc = flow_entry pc parent_proc and fp = flow_entry pp child_proc in
-  fc.out_w <- fc.out_w -. w;
-  fc.edges <- fc.edges - 1;
-  fp.in_w <- fp.in_w -. w;
-  fp.edges <- fp.edges - 1;
-  if fc.edges <= 0 then Hashtbl.remove pc.flows parent_proc;
-  if fp.edges <= 0 then Hashtbl.remove pp.flows child_proc
+  let fc = flow_of t child_proc parent_proc in
+  let fp = flow_of t parent_proc child_proc in
+  let fc = { fc with out_w = fc.out_w -. w; edges = fc.edges - 1 } in
+  let fp = { fp with in_w = fp.in_w -. w; edges = fp.edges - 1 } in
+  Arena.set t.flows child_proc
+    (if fc.edges <= 0 then Imap.remove parent_proc (Arena.get t.flows child_proc)
+     else Imap.add parent_proc fc (Arena.get t.flows child_proc));
+  Arena.set t.flows parent_proc
+    (if fp.edges <= 0 then Imap.remove child_proc (Arena.get t.flows parent_proc)
+     else Imap.add child_proc fp (Arena.get t.flows parent_proc));
+  bump t child_proc;
+  bump t parent_proc
 
 let pair_flow t u v =
-  match Hashtbl.find_opt (proc t u).flows v with
+  match Imap.find_opt v (Arena.get t.flows u) with
   | Some f -> f.out_w +. f.in_w
   | None -> 0.0
 
@@ -155,20 +183,21 @@ let pair_flow t u v =
 let add_operator t u i =
   if t.assign.(i) <> None then
     invalid_arg "Ledger.add_operator: operator already assigned";
-  let p = proc t u in
+  check_live t u;
   let app = t.app in
   let tree = App.tree app in
   let rho = App.rho app in
-  p.compute <- p.compute +. (rho *. App.work app i);
+  Arena.fset t.compute u
+    (Arena.fget t.compute u +. (rho *. App.work app i));
   List.iter
     (fun c ->
       let w = rho *. App.output_size app c in
       match t.assign.(c) with
       | Some v when v = u ->
         (* edge (c -> i) becomes internal: c no longer sends out *)
-        p.comm_out <- p.comm_out -. w
+        Arena.fset t.comm_out u (Arena.fget t.comm_out u -. w)
       | other -> (
-        p.comm_in <- p.comm_in +. w;
+        Arena.fset t.comm_in u (Arena.fget t.comm_in u +. w);
         match other with
         | Some v -> add_edge_flow t ~child_proc:v ~parent_proc:u w
         | None -> ()))
@@ -178,39 +207,44 @@ let add_operator t u i =
   | Some pr -> (
     let w = rho *. App.output_size app i in
     match t.assign.(pr) with
-    | Some v when v = u -> p.comm_in <- p.comm_in -. w
+    | Some v when v = u -> Arena.fset t.comm_in u (Arena.fget t.comm_in u -. w)
     | other -> (
-      p.comm_out <- p.comm_out +. w;
+      Arena.fset t.comm_out u (Arena.fget t.comm_out u +. w);
       match other with
       | Some v -> add_edge_flow t ~child_proc:u ~parent_proc:v w
       | None -> ())));
+  let needs = ref (Arena.get t.needs u) in
   List.iter
     (fun k ->
-      let c = Option.value ~default:0 (Hashtbl.find_opt p.needs k) in
-      if c = 0 then p.need_rate <- p.need_rate +. App.download_rate app k;
-      Hashtbl.replace p.needs k (c + 1))
+      let c = Option.value ~default:0 (Imap.find_opt k !needs) in
+      if c = 0 then
+        Arena.fset t.need_rate u
+          (Arena.fget t.need_rate u +. App.download_rate app k);
+      needs := Imap.add k (c + 1) !needs)
     (uniq_leaves tree i);
-  p.members <- insert_sorted i p.members;
-  t.assign.(i) <- Some u
+  Arena.set t.needs u !needs;
+  Arena.set t.members u (insert_sorted i (Arena.get t.members u));
+  t.assign.(i) <- Some u;
+  bump t u
 
 let remove_operator t i =
   match t.assign.(i) with
   | None -> invalid_arg "Ledger.remove_operator: operator not assigned"
   | Some u ->
-    let p = proc t u in
     let app = t.app in
     let tree = App.tree app in
     let rho = App.rho app in
-    p.compute <- p.compute -. (rho *. App.work app i);
+    Arena.fset t.compute u
+      (Arena.fget t.compute u -. (rho *. App.work app i));
     List.iter
       (fun c ->
         let w = rho *. App.output_size app c in
         match t.assign.(c) with
         | Some v when v = u ->
           (* edge (c -> i) becomes crossing again: c sends out *)
-          p.comm_out <- p.comm_out +. w
+          Arena.fset t.comm_out u (Arena.fget t.comm_out u +. w)
         | other -> (
-          p.comm_in <- p.comm_in -. w;
+          Arena.fset t.comm_in u (Arena.fget t.comm_in u -. w);
           match other with
           | Some v -> remove_edge_flow t ~child_proc:v ~parent_proc:u w
           | None -> ()))
@@ -220,32 +254,37 @@ let remove_operator t i =
     | Some pr -> (
       let w = rho *. App.output_size app i in
       match t.assign.(pr) with
-      | Some v when v = u -> p.comm_in <- p.comm_in +. w
+      | Some v when v = u ->
+        Arena.fset t.comm_in u (Arena.fget t.comm_in u +. w)
       | other -> (
-        p.comm_out <- p.comm_out -. w;
+        Arena.fset t.comm_out u (Arena.fget t.comm_out u -. w);
         match other with
         | Some v -> remove_edge_flow t ~child_proc:u ~parent_proc:v w
         | None -> ())));
+    let needs = ref (Arena.get t.needs u) in
     List.iter
       (fun k ->
-        match Hashtbl.find_opt p.needs k with
+        match Imap.find_opt k !needs with
         | Some 1 ->
-          Hashtbl.remove p.needs k;
-          p.need_rate <-
-            (if Hashtbl.length p.needs = 0 then 0.0
-             else p.need_rate -. App.download_rate app k)
-        | Some c -> Hashtbl.replace p.needs k (c - 1)
+          needs := Imap.remove k !needs;
+          Arena.fset t.need_rate u
+            (if Imap.is_empty !needs then 0.0
+             else Arena.fget t.need_rate u -. App.download_rate app k)
+        | Some c -> needs := Imap.add k (c - 1) !needs
         | None -> assert false)
       (uniq_leaves tree i);
-    p.members <- List.filter (fun x -> x <> i) p.members;
+    Arena.set t.needs u !needs;
+    Arena.set t.members u
+      (List.filter (fun x -> x <> i) (Arena.get t.members u));
     t.assign.(i) <- None;
-    if p.members = [] then begin
+    if Arena.get t.members u = [] then begin
       (* Exact reset: an empty group carries exactly zero load, so any
          accumulated float drift dies here. *)
-      p.compute <- 0.0;
-      p.comm_in <- 0.0;
-      p.comm_out <- 0.0
-    end
+      Arena.fset t.compute u 0.0;
+      Arena.fset t.comm_in u 0.0;
+      Arena.fset t.comm_out u 0.0
+    end;
+    bump t u
 
 (* ------------------------------------------------------------------ *)
 (* Download-plan deltas                                                *)
@@ -254,75 +293,84 @@ let valid_server t l =
   l >= 0 && l < Servers.n_servers t.platform.Platform.servers
 
 let add_download t u ~obj:k ~server:l =
-  let p = proc t u in
-  let servers = Option.value ~default:[] (Hashtbl.find_opt p.dls k) in
+  check_live t u;
+  let dls = Arena.get t.dls u in
+  let servers = Option.value ~default:[] (Imap.find_opt k dls) in
   if not (List.mem l servers) then begin
     (* exact duplicate (k, l) entries are collapsed, mirroring Alloc *)
-    Hashtbl.replace p.dls k (List.sort compare (l :: servers));
+    Arena.set t.dls u (Imap.add k (List.sort compare (l :: servers)) dls);
     let rate = App.download_rate t.app k in
-    p.dl_rate <- p.dl_rate +. rate;
-    p.dl_entries <- p.dl_entries + 1;
+    Arena.fset t.dl_rate u (Arena.fget t.dl_rate u +. rate);
+    Arena.set t.dl_entries u (Arena.get t.dl_entries u + 1);
     if valid_server t l then begin
       t.card_load.(l) <- t.card_load.(l) +. rate;
       t.card_entries.(l) <- t.card_entries.(l) + 1;
-      match Hashtbl.find_opt t.links (l, u) with
-      | Some lk ->
-        lk.l_load <- lk.l_load +. rate;
-        lk.l_entries <- lk.l_entries + 1
-      | None -> Hashtbl.replace t.links (l, u) { l_load = rate; l_entries = 1 }
-    end
+      Arena.fset t.link_load.(l) u (Arena.fget t.link_load.(l) u +. rate);
+      Arena.set t.link_entries.(l) u (Arena.get t.link_entries.(l) u + 1)
+    end;
+    bump t u
   end
 
 let remove_download t u ~obj:k ~server:l =
-  let p = proc t u in
-  match Hashtbl.find_opt p.dls k with
+  check_live t u;
+  let dls = Arena.get t.dls u in
+  match Imap.find_opt k dls with
   | Some servers when List.mem l servers ->
     let servers' = List.filter (fun x -> x <> l) servers in
-    if servers' = [] then Hashtbl.remove p.dls k
-    else Hashtbl.replace p.dls k servers';
+    Arena.set t.dls u
+      (if servers' = [] then Imap.remove k dls else Imap.add k servers' dls);
     let rate = App.download_rate t.app k in
-    p.dl_entries <- p.dl_entries - 1;
-    p.dl_rate <- (if p.dl_entries = 0 then 0.0 else p.dl_rate -. rate);
+    Arena.set t.dl_entries u (Arena.get t.dl_entries u - 1);
+    Arena.fset t.dl_rate u
+      (if Arena.get t.dl_entries u = 0 then 0.0
+       else Arena.fget t.dl_rate u -. rate);
     if valid_server t l then begin
       t.card_entries.(l) <- t.card_entries.(l) - 1;
       t.card_load.(l) <-
         (if t.card_entries.(l) = 0 then 0.0 else t.card_load.(l) -. rate);
-      match Hashtbl.find_opt t.links (l, u) with
-      | Some lk ->
-        lk.l_entries <- lk.l_entries - 1;
-        if lk.l_entries <= 0 then Hashtbl.remove t.links (l, u)
-        else lk.l_load <- lk.l_load -. rate
-      | None -> assert false
-    end
+      let entries = Arena.get t.link_entries.(l) u - 1 in
+      Arena.set t.link_entries.(l) u entries;
+      Arena.fset t.link_load.(l) u
+        (if entries <= 0 then 0.0 else Arena.fget t.link_load.(l) u -. rate)
+    end;
+    bump t u
   | Some _ | None -> ()
 
 let remove_proc t u =
-  let p = proc t u in
-  List.iter (fun i -> remove_operator t i) p.members;
-  List.iter (fun (k, l) -> remove_download t u ~obj:k ~server:l)
-    (downloads_list p);
-  Hashtbl.remove t.procs u
+  check_live t u;
+  List.iter (fun i -> remove_operator t i) (Arena.get t.members u);
+  List.iter
+    (fun (k, l) -> remove_download t u ~obj:k ~server:l)
+    (downloads_list t u);
+  Arena.free t.arena u;
+  Arena.reset t.config u;
+  Arena.reset t.members u;
+  Arena.set t.needs u Imap.empty;
+  Arena.set t.dls u Imap.empty;
+  Arena.set t.flows u Imap.empty
 
 (* ------------------------------------------------------------------ *)
 (* Demand queries and probes                                           *)
 
-let needed_objects p =
-  Hashtbl.fold (fun k _ acc -> k :: acc) p.needs [] |> List.sort compare
+let needed_objects t u =
+  List.map fst (Imap.bindings (Arena.get t.needs u))
 
 let demand t u =
-  let p = proc t u in
+  check_live t u;
   {
-    Demand.compute = p.compute;
-    download = p.need_rate;
-    comm_in = p.comm_in;
-    comm_out = p.comm_out;
+    Demand.compute = Arena.fget t.compute u;
+    download = Arena.fget t.need_rate u;
+    comm_in = Arena.fget t.comm_in u;
+    comm_out = Arena.fget t.comm_out u;
   }
 
 let nic_load t u =
-  let p = proc t u in
-  p.dl_rate +. p.comm_in +. p.comm_out
+  check_live t u;
+  Arena.fget t.dl_rate u +. Arena.fget t.comm_in u +. Arena.fget t.comm_out u
 
-let compute_load t u = (proc t u).compute
+let compute_load t u =
+  check_live t u;
+  Arena.fget t.compute u
 
 let card_load t l =
   if not (valid_server t l) then invalid_arg "Ledger.card_load: bad server";
@@ -330,18 +378,21 @@ let card_load t l =
 
 (* Accumulate [w] against key [v] in a tiny assoc list. *)
 let acc_flow acc v w =
+  (* lint: allow p3 — probe deltas touch O(degree) neighbours, not O(procs) *)
   let prev = Option.value ~default:0.0 (List.assoc_opt v acc) in
   (v, prev +. w) :: List.remove_assoc v acc
+[@@lint.allow "p3"]
 
 let probe_add t u i =
   if t.assign.(i) <> None then
     invalid_arg "Ledger.probe_add: operator already assigned";
-  let p = proc t u in
+  check_live t u;
   let app = t.app in
   let tree = App.tree app in
   let rho = App.rho app in
-  let compute = p.compute +. (rho *. App.work app i) in
-  let comm_in = ref p.comm_in and comm_out = ref p.comm_out in
+  let compute = Arena.fget t.compute u +. (rho *. App.work app i) in
+  let comm_in = ref (Arena.fget t.comm_in u) in
+  let comm_out = ref (Arena.fget t.comm_out u) in
   let deltas = ref [] in
   List.iter
     (fun c ->
@@ -365,12 +416,13 @@ let probe_add t u i =
       match other with
       | Some v -> deltas := acc_flow !deltas v w
       | None -> ())));
+  let needs = Arena.get t.needs u in
   let download =
     List.fold_left
       (fun acc k ->
-        if Hashtbl.mem p.needs k then acc
-        else acc +. App.download_rate app k)
-      p.need_rate (uniq_leaves tree i)
+        if Imap.mem k needs then acc else acc +. App.download_rate app k)
+      (Arena.fget t.need_rate u)
+      (uniq_leaves tree i)
   in
   {
     demand = { Demand.compute; download; comm_in = !comm_in; comm_out = !comm_out };
@@ -380,37 +432,48 @@ let probe_add t u i =
 
 let probe_merge t ~winner ~loser =
   if winner = loser then invalid_arg "Ledger.probe_merge: same processor";
-  let pw = proc t winner and pl = proc t loser in
+  check_live t winner;
+  check_live t loser;
   let out_wl, in_wl =
-    match Hashtbl.find_opt pw.flows loser with
+    match Imap.find_opt loser (Arena.get t.flows winner) with
     | Some f -> (f.out_w, f.in_w)
     | None -> (0.0, 0.0)
   in
-  let compute = pw.compute +. pl.compute in
+  let compute = Arena.fget t.compute winner +. Arena.fget t.compute loser in
   (* Edges between winner and loser become internal: subtract each
      direction from the side that counted it. *)
-  let comm_in = pw.comm_in -. in_wl +. (pl.comm_in -. out_wl) in
-  let comm_out = pw.comm_out -. out_wl +. (pl.comm_out -. in_wl) in
-  (* Key-sorted snapshots keep the float sum and the pair_flows order
-     independent of hash state — a probe must hash identically across
-     runs and across ledgers that reached the same state differently. *)
+  let comm_in =
+    Arena.fget t.comm_in winner -. in_wl
+    +. (Arena.fget t.comm_in loser -. out_wl)
+  in
+  let comm_out =
+    Arena.fget t.comm_out winner -. out_wl
+    +. (Arena.fget t.comm_out loser -. in_wl)
+  in
+  (* Ascending-key map iteration keeps the float sum and the pair_flows
+     order independent of construction history — a probe must hash
+     identically across runs and across ledgers that reached the same
+     state differently. *)
+  let winner_needs = Arena.get t.needs winner in
   let download =
-    List.fold_left
-      (fun acc (k, _) ->
-        if Hashtbl.mem pw.needs k then acc else acc +. App.download_rate t.app k)
-      pw.need_rate (sorted_bindings pl.needs)
+    Imap.fold
+      (fun k _ acc ->
+        if Imap.mem k winner_needs then acc
+        else acc +. App.download_rate t.app k)
+      (Arena.get t.needs loser)
+      (Arena.fget t.need_rate winner)
   in
   let third_party =
     let acc = ref [] in
-    let collect tbl =
-      List.iter
-        (fun (v, f) ->
+    let collect u =
+      Imap.iter
+        (fun v f ->
           if v <> winner && v <> loser then
             acc := acc_flow !acc v (f.out_w +. f.in_w))
-        (sorted_bindings tbl)
+        (Arena.get t.flows u)
     in
-    collect pw.flows;
-    collect pl.flows;
+    collect winner;
+    collect loser;
     !acc
   in
   {
@@ -420,7 +483,7 @@ let probe_merge t ~winner ~loser =
 
 let merge t ~winner ~loser =
   if winner = loser then invalid_arg "Ledger.merge: same processor";
-  let moved = (proc t loser).members in
+  let moved = operators_of t loser in
   List.iter (fun i -> remove_operator t i) moved;
   remove_proc t loser;
   List.iter (fun i -> add_operator t winner i) moved
@@ -436,54 +499,57 @@ let exceeds load capacity = load > (capacity *. (1.0 +. tolerance)) +. tolerance
    processor's state). *)
 let proc_violations t u acc =
   let servers = t.platform.Platform.servers in
-  let p = proc t u in
   let add v = acc := v :: !acc in
-  let needed = needed_objects p in
+  let needs = Arena.get t.needs u in
+  let dls = Arena.get t.dls u in
   List.iter
     (fun k ->
-      if not (Hashtbl.mem p.dls k) then
+      if not (Imap.mem k dls) then
         add (Check.Missing_download { proc = u; object_type = k }))
-    needed;
+    (needed_objects t u);
   List.iter
     (fun (k, l) ->
-      if not (Hashtbl.mem p.needs k) then
+      if not (Imap.mem k needs) then
         add (Check.Extraneous_download { proc = u; object_type = k });
       if not (valid_server t l) || not (Servers.holds servers l k) then
         add (Check.Not_held { proc = u; object_type = k; server = l }))
-    (downloads_list p);
-  List.iter
-    (fun (k, ls) ->
+    (downloads_list t u);
+  Imap.iter
+    (fun k ls ->
       if List.length ls > 1 then
         add (Check.Duplicate_download { proc = u; object_type = k }))
-    (sorted_bindings p.dls);
-  let config = p.config in
-  if exceeds p.compute config.Catalog.cpu.Catalog.speed then
+    dls;
+  let config = Arena.get t.config u in
+  let compute = Arena.fget t.compute u in
+  if exceeds compute config.Catalog.cpu.Catalog.speed then
     add
       (Check.Compute_overload
-         { proc = u; load = p.compute; capacity = config.Catalog.cpu.Catalog.speed });
-  let nic = p.dl_rate +. p.comm_in +. p.comm_out in
+         { proc = u; load = compute; capacity = config.Catalog.cpu.Catalog.speed });
+  let nic =
+    Arena.fget t.dl_rate u +. Arena.fget t.comm_in u +. Arena.fget t.comm_out u
+  in
   if exceeds nic config.Catalog.nic.Catalog.bandwidth then
     add
       (Check.Nic_overload
          { proc = u; load = nic; capacity = config.Catalog.nic.Catalog.bandwidth });
-  List.iter
-    (fun (_, ls) ->
+  Imap.iter
+    (fun _ ls ->
       List.iter
         (fun l ->
-          if valid_server t l then
-            match Hashtbl.find_opt t.links (l, u) with
-            | Some lk when exceeds lk.l_load t.platform.Platform.server_link ->
+          if valid_server t l && Arena.get t.link_entries.(l) u > 0 then begin
+            let load = Arena.fget t.link_load.(l) u in
+            if exceeds load t.platform.Platform.server_link then
               add
                 (Check.Server_link_overload
                    {
                      server = l;
                      proc = u;
-                     load = lk.l_load;
+                     load;
                      capacity = t.platform.Platform.server_link;
                    })
-            | Some _ | None -> ())
+          end)
         ls)
-    (sorted_bindings p.dls)
+    dls
 
 let server_card_violations t servers_touched acc =
   let add v = acc := v :: !acc in
@@ -506,8 +572,8 @@ let pair_violations t us acc =
   List.iter
     (fun u ->
       if mem_proc t u then
-        List.iter
-          (fun (v, f) ->
+        Imap.iter
+          (fun v f ->
             let a = min u v and b = max u v in
             if not (Hashtbl.mem seen (a, b)) then begin
               Hashtbl.replace seen (a, b) ();
@@ -522,7 +588,7 @@ let pair_violations t us acc =
                        capacity = t.platform.Platform.proc_link;
                      })
             end)
-          (sorted_bindings (proc t u).flows))
+          (Arena.get t.flows u))
     us
 
 (* Duplicate-entry-free: Server_link_overload for (l, u) is only emitted
@@ -550,7 +616,7 @@ let violations_touching t us =
         if mem_proc t u then
           List.concat_map
             (fun (_, ls) -> List.filter (valid_server t) ls)
-            (sorted_bindings (proc t u).dls)
+            (Imap.bindings (Arena.get t.dls u))
         else [])
       us
     |> List.sort_uniq compare
@@ -598,11 +664,10 @@ let to_alloc t =
     (Array.of_list
        (List.map
           (fun u ->
-            let p = proc t u in
             {
-              Alloc.config = p.config;
-              operators = p.members;
-              downloads = downloads_list p;
+              Alloc.config = Arena.get t.config u;
+              operators = Arena.get t.members u;
+              downloads = downloads_list t u;
             })
           ids))
 

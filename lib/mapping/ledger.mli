@@ -52,6 +52,15 @@ val downloads_of : t -> proc_id -> (int * int) list
 
 val assignment : t -> int -> proc_id option
 
+val generation : t -> proc_id -> int
+(** Monotone per-processor change stamp: bumped by every mutation that
+    can alter an observable quantity of the processor — membership and
+    download edits, config changes, and pair-flow updates caused by a
+    {e neighbour's} membership edit.  A cached probe verdict keyed by
+    [(id, generation)] of the involved processors is therefore valid
+    exactly while the stamps are unchanged (the candidate-queue
+    invalidation protocol, DESIGN.md §16). *)
+
 val add_operator : t -> proc_id -> int -> unit
 (** O(degree).  Raises [Invalid_argument] if already assigned. *)
 

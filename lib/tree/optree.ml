@@ -81,13 +81,41 @@ let al_operators t =
   Array.to_list t.nodes
   |> List.filter_map (fun n -> if n.leaves <> [] then Some n.id else None)
 
-let preorder t =
-  let rec walk i = i :: List.concat_map walk t.nodes.(i).children in
-  walk 0
+(* The traversals are iterative with an explicit stack: the recursive
+   versions cost O(n · height) in list appends and risk stack overflow
+   on the 100k-operator scale instances. *)
+let preorder_from t start =
+  let acc = ref [] in
+  let stack = ref [ start ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | i :: rest ->
+      acc := i :: !acc;
+      (* children in order on top: the leftmost is processed first *)
+      stack := t.nodes.(i).children @ rest
+  done;
+  List.rev !acc
+
+let preorder t = preorder_from t 0
 
 let postorder t =
-  let rec walk i = List.concat_map walk t.nodes.(i).children @ [ i ] in
-  walk 0
+  (* Reverse of a walk that emits each node before its children and
+     visits the children right to left: pushing the children in order
+     makes the rightmost pop first, and prepending to [acc] reverses the
+     emission. *)
+  let acc = ref [] in
+  let stack = ref [ 0 ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | i :: rest ->
+      acc := i :: !acc;
+      stack := List.rev_append t.nodes.(i).children rest
+  done;
+  !acc
 
 let depth t i =
   let rec up acc = function
@@ -112,9 +140,7 @@ let leaf_instances t =
   Array.to_list t.nodes
   |> List.concat_map (fun n -> List.map (fun k -> (n.id, k)) n.leaves)
 
-let subtree t i =
-  let rec walk j = j :: List.concat_map walk t.nodes.(j).children in
-  walk i
+let subtree t i = preorder_from t i
 
 let to_spec t =
   let rec build i =
@@ -162,6 +188,25 @@ let validate t =
         Error "tree is not fully reachable from the root"
       else Ok ()
     end
+
+(* Direct array constructor for generators that build large trees
+   without going through a recursive [spec] (DESIGN.md §16): [of_spec]
+   recursion is bounded by the tree height, which a pathological shape
+   can push to the operator count. *)
+let of_arrays ~n_object_types ~parent ~children ~leaves =
+  let n = Array.length parent in
+  if n = 0 then invalid_arg "Optree.of_arrays: empty tree";
+  if Array.length children <> n || Array.length leaves <> n then
+    invalid_arg "Optree.of_arrays: array lengths disagree";
+  let nodes =
+    Array.init n (fun id ->
+        { id; parent = parent.(id); children = children.(id);
+          leaves = leaves.(id) })
+  in
+  let t = { nodes; n_object_types } in
+  match validate t with
+  | Ok () -> t
+  | Error e -> invalid_arg ("Optree.of_arrays: " ^ e)
 
 let left_deep ~n_operators ~objects =
   if n_operators < 1 then invalid_arg "Optree.left_deep: need >= 1 operator";

@@ -29,6 +29,17 @@ val of_spec : n_object_types:int -> spec -> t
     root is a bare object, or if any object index is outside
     [\[0, n_object_types)]. *)
 
+val of_arrays :
+  n_object_types:int ->
+  parent:int option array ->
+  children:int list array ->
+  leaves:int list array ->
+  t
+(** Builds a tree directly from per-operator arrays (index = operator
+    id), for generators that assemble large trees without a recursive
+    {!spec}.  Runs {!validate} and raises [Invalid_argument] on any
+    structural violation (including non-preorder ids). *)
+
 val n_operators : t -> int
 
 val n_object_types : t -> int

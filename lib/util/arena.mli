@@ -1,0 +1,68 @@
+(** Dense id allocator with structure-of-arrays column views.
+
+    The hot data model of the solver keys everything by small integer
+    ids (operators, processors, servers).  An arena hands out ids
+    monotonically — ids are {e never reused}, so a freed processor id
+    stays dead forever and journals referring to it stay unambiguous —
+    and owns the per-id bookkeeping the columns index into.  A column
+    ([col]/[fcol]) is a growable flat array defaulted on first touch;
+    [fcol] is monomorphic so OCaml unboxes the backing float array.
+
+    Each id carries a {e generation stamp}, bumped by {!touch} and
+    {!free}.  Cached derived state (a feasibility probe, a scored
+    candidate) records the stamp it was computed at; a stale stamp means
+    the cache entry must be dropped (the lazy-deletion discipline of
+    [Insp_heuristics.Cand_queue]).  See DESIGN.md §16. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val alloc : t -> int
+(** Fresh id, one greater than the previous allocation (dense preorder:
+    the [n]-th call returns [n - 1]). *)
+
+val free : t -> int -> unit
+(** Kills the id (and bumps its generation).  The id is never handed out
+    again. *)
+
+val is_live : t -> int -> bool
+
+val n_ids : t -> int
+(** Total ids ever allocated (the exclusive upper bound of the id
+    space). *)
+
+val n_live : t -> int
+
+val live_ids : t -> int list
+(** Ascending. *)
+
+val iter_live : t -> (int -> unit) -> unit
+(** Ascending id order — safe to feed observable output (lint D6). *)
+
+val generation : t -> int -> int
+(** Current stamp of a live id. *)
+
+val touch : t -> int -> unit
+(** Bump the stamp: the id's associated state changed and any cached
+    view of it is now stale. *)
+
+(** {1 Columns} *)
+
+type 'a col
+
+val col : ?capacity:int -> 'a -> 'a col
+(** [col default] — every id reads [default] until written. *)
+
+val get : 'a col -> int -> 'a
+val set : 'a col -> int -> 'a -> unit
+
+val reset : 'a col -> int -> unit
+(** Write the default back (used when an id dies). *)
+
+type fcol
+(** Unboxed float column. *)
+
+val fcol : ?capacity:int -> float -> fcol
+val fget : fcol -> int -> float
+val fset : fcol -> int -> float -> unit

@@ -1,4 +1,4 @@
-type size_regime = Small | Large
+type size_regime = Small | Large | Custom_sizes of float * float
 
 type freq_regime = High | Low | Custom of float
 
@@ -42,7 +42,7 @@ let make ?(alpha = default.alpha) ?(sizes = default.sizes)
   let rho =
     match (rho, sizes) with
     | Some r, _ -> r
-    | None, Small -> 1.0
+    | None, (Small | Custom_sizes _) -> 1.0
     | None, Large -> 0.1
   in
   {
@@ -63,6 +63,20 @@ let make ?(alpha = default.alpha) ?(sizes = default.sizes)
 let size_range = function
   | Small -> (5.0, 30.0)
   | Large -> (450.0, 530.0)
+  | Custom_sizes (lo, hi) ->
+    if lo <= 0.0 || hi < lo then invalid_arg "Config.size_range: bad range";
+    (lo, hi)
+
+(* Scale preset (DESIGN.md §16): object sizes and base work shrunk so
+   that the aggregate data stream of a tree orders of magnitude larger
+   than the paper's 60–200 operators still fits the unchanged dell_2008
+   catalog and the 1000 MB/s processor link.  The root operator's output
+   carries the whole leaf mass (~0.003 MB x (N+1) in expectation), which
+   stays under the processor link up to N ~ 300k, and one operator costs
+   ~2000 Mops x rho, ~23 per top-catalog CPU. *)
+let scale ?(seed = default.seed) ~n_operators () =
+  make ~sizes:(Custom_sizes (0.001, 0.005)) ~base_work:2000.0 ~seed
+    ~n_operators ()
 
 let frequency = function
   | High -> 0.5
@@ -72,7 +86,12 @@ let frequency = function
     f
 
 let pp ppf t =
-  let size_name = match t.sizes with Small -> "small" | Large -> "large" in
+  let size_name =
+    match t.sizes with
+    | Small -> "small"
+    | Large -> "large"
+    | Custom_sizes (lo, hi) -> Printf.sprintf "custom(%g..%g)" lo hi
+  in
   Format.fprintf ppf
     "N=%d alpha=%.2f sizes=%s freq=%.3f/s rho=%.2f objects=%d servers=%d \
      copies=%d..%d seed=%d"

@@ -3,6 +3,8 @@ module App = Insp_tree.App
 module Objects = Insp_tree.Objects
 module Generate = Insp_tree.Generate
 module Platform = Insp_platform.Platform
+module Catalog = Insp_platform.Catalog
+module Demand = Insp_mapping.Demand
 
 type t = {
   config : Config.t;
@@ -37,6 +39,61 @@ let generate (config : Config.t) =
       ~max_copies:config.max_copies ()
   in
   { config; app; platform }
+
+type gen_error =
+  | Operator_count_out_of_range of { requested : int; limit : int }
+  | Operator_exceeds_catalog of {
+      operator : int;
+      work : float;
+      nic : float;
+      cpu_limit : float;
+      nic_limit : float;
+    }
+
+let gen_error_message = function
+  | Operator_count_out_of_range { requested; limit } ->
+    Printf.sprintf "operator count %d outside the generatable range [1, %d]"
+      requested limit
+  | Operator_exceeds_catalog { operator; work; nic; cpu_limit; nic_limit } ->
+    Printf.sprintf
+      "operator n%d alone (%.1f Mops/s compute, %.1f MB/s NIC) exceeds the \
+       platform catalog's largest configuration (%.1f Mops/s, %.1f MB/s): \
+       no allocation can exist"
+      operator work nic cpu_limit nic_limit
+
+let generate_checked (config : Config.t) =
+  let limit = Sys.max_array_length - 1 in
+  if config.Config.n_operators < 1 || config.Config.n_operators > limit then
+    Error
+      (Operator_count_out_of_range
+         { requested = config.Config.n_operators; limit })
+  else begin
+    let t = generate config in
+    let best = Catalog.best t.platform.Platform.catalog in
+    (* Necessary feasibility condition: every operator alone must fit
+       the catalog's largest machine.  An operator count too large for
+       the configured object sizes concentrates the whole stream on the
+       root and trips this (the paper's parameters support a few hundred
+       operators; the scale preset supports ~300k). *)
+    let rec scan i =
+      if i >= App.n_operators t.app then Ok t
+      else begin
+        let d = Demand.of_operator t.app i in
+        if Demand.fits best d then scan (i + 1)
+        else
+          Error
+            (Operator_exceeds_catalog
+               {
+                 operator = i;
+                 work = d.Demand.compute;
+                 nic = Demand.nic d;
+                 cpu_limit = best.Catalog.cpu.Catalog.speed;
+                 nic_limit = best.Catalog.nic.Catalog.bandwidth;
+               })
+      end
+    in
+    scan 0
+  end
 
 let generate_batch config ~seeds =
   List.map (fun seed -> generate { config with Config.seed }) seeds

@@ -11,6 +11,32 @@ val generate : Config.t -> t
     streams for tree shape, object sizes and server placement, so e.g.
     changing the frequency regime does not perturb the generated tree. *)
 
+type gen_error =
+  | Operator_count_out_of_range of { requested : int; limit : int }
+      (** [n_operators] outside [1, limit] — the generator's arrays
+          cannot represent the tree *)
+  | Operator_exceeds_catalog of {
+      operator : int;
+      work : float;
+      nic : float;
+      cpu_limit : float;
+      nic_limit : float;
+    }
+      (** a single operator's demand exceeds the catalog's largest
+          configuration, so no allocation can exist: the requested
+          operator count overflows what the platform can host under the
+          configured object sizes *)
+
+val gen_error_message : gen_error -> string
+
+val generate_checked : Config.t -> (t, gen_error) result
+(** {!generate} with the unsolvable-by-construction cases turned into
+    typed errors instead of downstream asserts or guaranteed heuristic
+    failures: the operator count must be representable, and every
+    operator alone must fit the catalog's best configuration (a
+    necessary condition for any feasible allocation).  Deterministic in
+    [config.seed] like {!generate}. *)
+
 val generate_batch : Config.t -> seeds:int list -> t list
 (** Same configuration across several seeds (for averaging). *)
 

@@ -265,15 +265,15 @@ let test_d6_positive () =
   check_reports "D6 fires on a float fold in lib/mapping"
     [
       "lib/mapping/fixture.ml:1:16: [D6] Hashtbl.fold iterates in hash \
-       order inside an engine library; iterate a key-sorted snapshot (cf. \
-       Ledger.sorted_bindings) or pipe the result through List.sort";
+       order inside an engine library; iterate a key-sorted snapshot or pipe \
+       the result through List.sort";
     ]
     (lint ~file:"lib/mapping/fixture.ml" d6_src);
   check_reports "D6 fires on a side-effecting iter in lib/serve"
     [
       "lib/serve/fixture.ml:1:15: [D6] Hashtbl.iter iterates in hash order \
-       inside an engine library; iterate a key-sorted snapshot (cf. \
-       Ledger.sorted_bindings) or pipe the result through List.sort";
+       inside an engine library; iterate a key-sorted snapshot or pipe the \
+       result through List.sort";
     ]
     (lint ~file:"lib/serve/fixture.ml"
        {|let emit tbl = Hashtbl.iter (fun k v -> note k v) tbl
@@ -282,8 +282,8 @@ let test_d6_positive () =
   check_reports "list-building fold reports D6, not D2, in lib/heuristics"
     [
       "lib/heuristics/fixture.ml:1:14: [D6] Hashtbl.fold iterates in hash \
-       order inside an engine library; iterate a key-sorted snapshot (cf. \
-       Ledger.sorted_bindings) or pipe the result through List.sort";
+       order inside an engine library; iterate a key-sorted snapshot or pipe \
+       the result through List.sort";
     ]
     (lint ~file:"lib/heuristics/fixture.ml"
        {|let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
@@ -419,6 +419,50 @@ let test_p2_suppressed () =
   in
   check_reports "line-1 comment directive waives P2" []
     (List.map render (Engine.lint_file ~display:"lib/p2_waived.ml" path))
+
+(* ------------------------------------------------------------------ *)
+(* P3: linear list search in the hot-path libraries                    *)
+
+let p3_src = {|let rate_of k rates = List.assoc k rates
+|}
+
+let test_p3_positive () =
+  check_reports "P3 fires on List.assoc in lib/mapping"
+    [
+      "lib/mapping/fixture.ml:1:22: [P3] List.assoc is a linear scan in a \
+       hot-path library; index by int id (arena/SoA column) or justify the \
+       bounded scan with a suppression";
+    ]
+    (lint ~file:"lib/mapping/fixture.ml" p3_src);
+  check_reports "P3 fires on List.find_opt in lib/sim"
+    [
+      "lib/sim/fixture.ml:1:19: [P3] List.find_opt is a linear scan in a \
+       hot-path library; index by int id (arena/SoA column) or justify the \
+       bounded scan with a suppression";
+    ]
+    (lint ~file:"lib/sim/fixture.ml"
+       {|let pick p procs = List.find_opt p procs
+|})
+
+let test_p3_negative () =
+  (* Scope: the serve library builds small per-tenant lists and is not
+     on the 100k-operator data path. *)
+  check_reports "P3 is scoped to lib/{mapping,heuristics,sim}" []
+    (lint ~file:"lib/serve/fixture.ml" p3_src);
+  check_reports "indexed access passes" []
+    (lint ~file:"lib/mapping/fixture.ml" {|let rate_of k rates = rates.(k)
+|})
+
+let test_p3_suppressed () =
+  check_reports "comment directive waives P3" []
+    (lint ~file:"lib/heuristics/fixture.ml"
+       {|(* lint: allow p3 — catalog scan is bounded by a dozen configs *)
+let cheapest p configs = List.find_opt p configs
+|});
+  check_reports "attribute waives P3" []
+    (lint ~file:"lib/mapping/fixture.ml"
+       {|let rate_of k rates = (List.assoc k rates [@lint.allow "p3"])
+|})
 
 (* ------------------------------------------------------------------ *)
 (* Baseline round-trip                                                 *)
@@ -944,6 +988,12 @@ let () =
           Alcotest.test_case "positive" `Quick test_p2_positive;
           Alcotest.test_case "negative" `Quick test_p2_negative;
           Alcotest.test_case "suppressed" `Quick test_p2_suppressed;
+        ] );
+      ( "p3",
+        [
+          Alcotest.test_case "positive" `Quick test_p3_positive;
+          Alcotest.test_case "negative" `Quick test_p3_negative;
+          Alcotest.test_case "suppressed" `Quick test_p3_suppressed;
         ] );
       ( "t1",
         [
