@@ -1,6 +1,6 @@
 # Development entry points.  `make check` is the tier-1 gate.
 
-.PHONY: check build test bench bench-json bench-compare lint lint-quick lint-deep clean
+.PHONY: check build test bench bench-json bench-compare lint lint-quick lint-deep prof clean
 
 check:
 	dune build && dune runtest && $(MAKE) lint
@@ -44,6 +44,15 @@ bench-json:
 bench-compare:
 	dune exec bench/main.exe -- --quick --json BENCH_insp.current.json
 	dune exec bench/compare.exe -- BENCH_insp.json BENCH_insp.current.json
+
+# Allocation profile of the scale preset (the scale.10k bench row):
+# writes prof.report / prof.csv / prof.{alloc,time}.folded under
+# _build/prof/.  Feed the .folded files to any folded-stack flamegraph
+# renderer (e.g. flamegraph.pl or speedscope).
+prof:
+	dune build bin/insp_cli.exe
+	mkdir -p _build/prof
+	dune exec bin/insp_cli.exe -- solve --scale -n 10000 -H comp --seed 1 --profile _build/prof/prof
 
 clean:
 	dune clean

@@ -255,12 +255,27 @@ let fmt_gauge v = Printf.sprintf "%.6g" v
 let over_budget = ref 0
 
 let check_budget id (c : experiment) =
-  match List.assoc_opt "wall_budget_s" c.gauges with
+  (match List.assoc_opt "wall_budget_s" c.gauges with
   | Some budget when c.wall_s > budget ->
     incr over_budget;
     Printf.printf "    %-10s %-40s wall %.2f s EXCEEDS budget %.2f s\n" "BUDGET"
       id c.wall_s budget
-  | Some _ | None -> ()
+  | Some _ | None -> ());
+  (* Alloc rows carry the same discipline on minor words: the profiled
+     solve's "alloc.minor_words" gauge must stay within the row's own
+     "alloc_budget_words" (DESIGN.md §17).  Unlike wall time the value
+     is deterministic, so an exceeded budget is always a code change,
+     never machine noise. *)
+  match
+    ( List.assoc_opt "alloc_budget_words" c.gauges,
+      List.assoc_opt "alloc.minor_words" c.gauges )
+  with
+  | Some budget, Some words when words > budget ->
+    incr over_budget;
+    Printf.printf
+      "    %-10s %-40s %.0f minor words EXCEEDS budget %.0f\n" "BUDGET" id
+      words budget
+  | _ -> ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -295,7 +310,8 @@ let () =
       print_endline "no recorded-value drift (wall time is informational)"
     else Printf.printf "%d recorded value(s) drifted\n" !drift;
     if !over_budget > 0 then begin
-      Printf.printf "%d row(s) over their wall-clock budget\n" !over_budget;
+      Printf.printf "%d row(s) over their wall-clock or allocation budget\n"
+        !over_budget;
       exit 1
     end;
     if strict && !drift > 0 then exit 1

@@ -294,6 +294,120 @@ let scale_entry ~n ~budget_s name () =
     Printf.printf "N=%d: FAILED: %s\n%!" n (Insp.Solve.failure_message f));
   (name, wall_s, recorder)
 
+(* ------------------------------------------------------------------ *)
+(* Allocation rows: minor words per solve, attributed via Obs.Prof      *)
+
+(* Run the scale-preset solve under a profiling sink and report the
+   profiler's totals as gauges.  "alloc.minor_words" is a hard-gated
+   row: bench/compare.exe fails when it exceeds the committed
+   "alloc_budget_words" (DESIGN.md §17) — the allocation analogue of
+   the scale rows' wall budget.  Minor words are a deterministic
+   function of the (deterministic) solve, so unlike wall gauges the
+   value is byte-stable run-to-run and any change is a code change. *)
+let prof_totals recorder =
+  match recorder.Insp.Obs.prof with
+  | Some p -> (Insp.Obs_prof.totals p, Insp.Obs_prof.rows p)
+  | None -> failwith "alloc row: sink has no profiler"
+
+(* Share of the commit path's self minor words that carries a
+   "ledger.*" span — the acceptance bar for attribution granularity:
+   anonymous phase self cannot direct flattening work, ledger spans
+   can.  The commit path is the placement phase subtree. *)
+let commit_ledger_share rows =
+  let segs (r : Insp.Obs_prof.row) =
+    String.split_on_char '/' r.Insp.Obs_prof.path
+  in
+  let in_commit r = List.mem "placement" (segs r) in
+  let is_ledger r =
+    List.exists
+      (fun seg -> String.length seg >= 7 && String.sub seg 0 7 = "ledger.")
+      (segs r)
+  in
+  let total, ledger =
+    List.fold_left
+      (fun (t, l) r ->
+        if in_commit r then
+          ( t +. r.Insp.Obs_prof.self_minor,
+            if is_ledger r then l +. r.Insp.Obs_prof.self_minor else l )
+        else (t, l))
+      (0.0, 0.0) rows
+  in
+  ledger /. Float.max total 1.0
+
+let alloc_entry ~n ~budget_words name () =
+  line (Printf.sprintf "%s (minor words, %d-operator scale solve)" name n);
+  let inst =
+    match
+      Insp.Instance.generate_checked (Insp.Config.scale ~n_operators:n ())
+    with
+    | Ok t -> t
+    | Error e -> failwith (Insp.Instance.gen_error_message e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome, recorder =
+    Insp.Obs.with_sink ~profile:true (fun () ->
+        Insp.Solve.run ~seed:1
+          (Option.get (Insp.Solve.find "comp"))
+          inst.Insp.Instance.app inst.Insp.Instance.platform)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match outcome with
+  | Ok _ -> ()
+  | Error f -> failwith (Insp.Solve.failure_message f));
+  let totals, rows = prof_totals recorder in
+  let minor = totals.Insp.Obs_prof.t_minor in
+  let share = commit_ledger_share rows in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.set_gauge m "alloc.minor_words" minor;
+  Insp.Obs_metrics.set_gauge m "alloc_budget_words" budget_words;
+  Insp.Obs_metrics.set_gauge m "alloc.words_per_op" (minor /. float_of_int n);
+  Insp.Obs_metrics.set_gauge m "alloc.commit_ledger_share" share;
+  Printf.printf
+    "N=%d: %.0f minor words (%.1f per operator, commit-path ledger share \
+     %.1f%%, budget %.0f)\n\
+     %!"
+    n minor
+    (minor /. float_of_int n)
+    (100.0 *. share) budget_words;
+  print_string (Insp.Obs_export.prof_report ~top:8 recorder);
+  (name, wall_s, recorder)
+
+(* Same contract for the online service: minor words across the serve
+   event loop, gated per event so --quick (120 apps) and full (1000)
+   runs share one budget constant. *)
+let alloc_serve_entry ~quick () =
+  line "alloc.serve_1k (minor words, serve event loop)";
+  let n_apps = if quick then 120 else 1000 in
+  (* ~11.3k words/event measured (admission solve + ledger probe per
+     arrival); per-event budget so --quick (120 apps) and full (1000)
+     runs share one constant. *)
+  let per_event_budget = 16_000.0 in
+  let spec = Insp.Serve_stream.make ~n_apps ~seed:1 () in
+  let events = Insp.Serve_stream.events spec in
+  let params =
+    Insp.Serve.make_params
+      ~base:(Insp.Config.make ~n_operators:60 ~seed:1 ())
+      ~proc_budget:128 ~card_scale:0.08 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let _state, recorder =
+    Insp.Obs.with_sink ~profile:true (fun () -> Insp.Serve.run params events)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let totals, _rows = prof_totals recorder in
+  let minor = totals.Insp.Obs_prof.t_minor in
+  let n_events = List.length events in
+  let m = recorder.Insp.Obs.metrics in
+  Insp.Obs_metrics.set_gauge m "alloc.minor_words" minor;
+  Insp.Obs_metrics.set_gauge m "alloc_budget_words"
+    (per_event_budget *. float_of_int n_events);
+  Insp.Obs_metrics.set_gauge m "alloc.words_per_event"
+    (minor /. float_of_int (max 1 n_events));
+  Printf.printf "%d events: %.0f minor words (%.0f per event)\n%!" n_events
+    minor
+    (minor /. float_of_int (max 1 n_events));
+  ("alloc.serve_1k", wall_s, recorder)
+
 (* Ledger probe throughput at scale, as a tracked JSON row
    (run_probe_bench below prints the ledger-vs-naive comparison on a
    paper-sized instance; this row sizes the ledger path alone on a
@@ -687,6 +801,13 @@ let () =
         lint_entry ~quick ();
         probe_throughput_entry ~quick ();
         scale_entry ~n:10_000 ~budget_s:1.0 "scale.10k" ();
+        (* the alloc rows DO run under --quick (unlike scale.100k):
+           minor words are deterministic, so the hard alloc gate
+           belongs in the committed BENCH_insp.json *)
+        (* 59.9M measured at the candidate-queue baseline; ~1.35x
+           headroom, tightened as the commit path flattens *)
+        alloc_entry ~n:100_000 ~budget_words:81_000_000.0 "alloc.100k" ();
+        alloc_serve_entry ~quick ();
       ]
     (* the 100k row is capped out of --quick runs: it is the acceptance
        row for the candidate-queue refactor (< 1 s single-threaded),

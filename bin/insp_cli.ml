@@ -73,6 +73,16 @@ let metrics_arg =
   let doc = "Write the run's counters, gauges and histograms as CSV." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Profile allocation by span and write $(docv).report (top span paths \
+     by self minor words), $(docv).csv (all GC metrics), and \
+     $(docv).alloc.folded / $(docv).time.folded flamegraph folded stacks \
+     (inferno, speedscope, flamegraph.pl).  Off = zero cost: spans skip \
+     the Gc reads entirely."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"BASE" ~doc)
+
 let exit_infeasible = 1
 let exit_unknown_name = 2
 
@@ -82,12 +92,26 @@ let exits =
        ~doc:"an unknown heuristic or experiment name was given."
   :: Cmd.Exit.defaults
 
+let write_prof base recorder =
+  Insp.Obs_export.save (base ^ ".report")
+    (Insp.Obs_export.prof_report recorder);
+  Insp.Obs_export.save (base ^ ".csv") (Insp.Obs_export.prof_csv recorder);
+  Insp.Obs_export.save (base ^ ".alloc.folded")
+    (Insp.Obs_export.prof_folded_alloc recorder);
+  Insp.Obs_export.save (base ^ ".time.folded")
+    (Insp.Obs_export.prof_folded_time recorder);
+  Format.printf
+    "wrote allocation profile to %s.{report,csv,alloc.folded,time.folded}@."
+    base
+
 (* Run [f] under a fresh observability sink when an export was requested;
    otherwise the engines' instrumentation stays a no-op. *)
-let with_obs ~trace ~metrics f =
-  if trace = None && metrics = None then f ()
+let with_obs ~trace ~metrics ?(profile = None) f =
+  if trace = None && metrics = None && profile = None then f ()
   else begin
-    let code, recorder = Insp.Obs.with_sink f in
+    let code, recorder =
+      Insp.Obs.with_sink ~profile:(profile <> None) f
+    in
     Option.iter
       (fun path ->
         Insp.Obs_export.save path (Insp.Obs_export.chrome_trace recorder);
@@ -98,6 +122,7 @@ let with_obs ~trace ~metrics f =
         Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
         Format.printf "wrote metrics CSV to %s@." path)
       metrics;
+    Option.iter (fun base -> write_prof base recorder) profile;
     code
   end
 
@@ -266,9 +291,25 @@ let solve_cmd =
       & opt (some string) None
       & info [ "dot" ] ~docv:"FILE" ~doc:"Write the operator tree as DOT.")
   in
-  let run n alpha sizes freq seed heuristic verbose dot trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
-    let inst = make_instance n alpha sizes freq seed in
+  let scale =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Generate the 100k-class scale preset (tiny objects, \
+             Config.scale) instead of the paper generator; $(b,-n) still \
+             sets the operator count.  This is the instance family behind \
+             the scale.* and alloc.* bench rows, so $(b,--scale \
+             --profile) reproduces their allocation profile.")
+  in
+  let run n alpha sizes freq seed heuristic verbose dot trace metrics profile
+      scale =
+    with_obs ~trace ~metrics ~profile @@ fun () ->
+    let inst =
+      if scale then
+        Insp.Instance.generate (Insp.Config.scale ~seed ~n_operators:n ())
+      else make_instance n alpha sizes freq seed
+    in
     Format.printf "%a@.@." Insp.Instance.pp inst;
     (match dot with
     | Some path ->
@@ -296,14 +337,18 @@ let solve_cmd =
       exit_unknown_name
     | Some results ->
       print_outcomes inst results verbose;
-      if Insp.Obs.enabled () then obs_diagnostics inst results;
+      (* Scale-preset runs skip the simulator/LP diagnostics: a DES pass
+         over a 10k-operator allocation allocates ~1000x the solve
+         itself and would drown the allocation profile `make prof` is
+         after. *)
+      if Insp.Obs.enabled () && not scale then obs_diagnostics inst results;
       if List.exists (fun (_, r) -> Result.is_ok r) results then 0
       else exit_infeasible
   in
   let term =
     Term.(
       const run $ n_operators $ alpha $ sizes $ freq $ seed $ heuristic_arg
-      $ verbose $ dot $ trace_arg $ metrics_arg)
+      $ verbose $ dot $ trace_arg $ metrics_arg $ profile_arg $ scale)
   in
   Cmd.v
     (Cmd.info "solve" ~exits
@@ -375,13 +420,13 @@ let sweep_cmd =
             "Run sweep cells on $(docv) domains.  Output is identical for \
              every value (deterministic static partition).")
   in
-  let run experiment quick seed jobs trace metrics =
+  let run experiment quick seed jobs trace metrics profile =
     if jobs < 1 then begin
       prerr_endline "insp: --jobs must be >= 1";
       exit_unknown_name
     end
     else
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~trace ~metrics ~profile @@ fun () ->
       let ids =
         if experiment = "all" then Insp.Suite.all_ids else [ experiment ]
       in
@@ -401,7 +446,8 @@ let sweep_cmd =
   in
   let term =
     Term.(
-      const run $ experiment $ quick $ seed $ jobs $ trace_arg $ metrics_arg)
+      const run $ experiment $ quick $ seed $ jobs $ trace_arg $ metrics_arg
+      $ profile_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~exits
@@ -668,7 +714,7 @@ let serve_cmd =
                 state dumps.")
   in
   let run seed apps tenants tenancy proc_budget card_scale resale reopt
-      heuristic journal_out dump_out verify trace metrics =
+      heuristic journal_out dump_out verify trace metrics profile =
     let key = if heuristic = "all" then "sbu" else heuristic in
     match Insp.Solve.find key with
     | None ->
@@ -687,8 +733,8 @@ let serve_cmd =
       let events = Insp.Serve_stream.events spec in
       let once () =
         let state, recorder =
-          Insp.Obs.with_sink ~journal:true (fun () ->
-              Insp.Serve.run params events)
+          Insp.Obs.with_sink ~journal:true ~profile:(profile <> None)
+            (fun () -> Insp.Serve.run params events)
         in
         Journal.set_manifest recorder.Insp.Obs.journal
           {
@@ -758,13 +804,14 @@ let serve_cmd =
           Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
           Format.printf "wrote metrics CSV to %s@." path)
         metrics;
+      Option.iter (fun base -> write_prof base recorder) profile;
       verify_code
   in
   let term =
     Term.(
       const run $ seed $ apps $ tenants $ tenancy $ proc_budget $ card_scale
       $ resale $ reopt $ heuristic_arg $ journal_out $ dump_out $ verify
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -867,7 +914,7 @@ let faults_cmd =
                 byte-identical journals and reports.")
   in
   let run seed n alpha sizes freq events mean_burst no_measure max_procs
-      no_rebuy harden_k heuristic journal_out verify trace metrics =
+      no_rebuy harden_k heuristic journal_out verify trace metrics profile =
     let key = if heuristic = "all" then "sbu" else heuristic in
     match Insp.Solve.find key with
     | None ->
@@ -910,7 +957,8 @@ let faults_cmd =
           in
           let once () =
             let report, recorder =
-              Insp.Obs.with_sink ~journal:true (fun () ->
+              Insp.Obs.with_sink ~journal:true ~profile:(profile <> None)
+                (fun () ->
                   Insp.Fault_engine.run spec inst.Insp.Instance.app
                     inst.Insp.Instance.platform base_alloc timeline)
             in
@@ -994,6 +1042,7 @@ let faults_cmd =
               Insp.Obs_export.save path (Insp.Obs_export.metrics_csv recorder);
               Format.printf "wrote metrics CSV to %s@." path)
             metrics;
+          Option.iter (fun base -> write_prof base recorder) profile;
           if verify_code <> 0 then verify_code
           else
             match report.Insp.Fault_engine.infeasible_at with
@@ -1004,7 +1053,8 @@ let faults_cmd =
     Term.(
       const run $ seed $ n_operators $ alpha $ sizes $ freq $ events
       $ mean_burst $ no_measure $ max_procs $ no_rebuy $ harden_k
-      $ heuristic_arg $ journal_out $ verify $ trace_arg $ metrics_arg)
+      $ heuristic_arg $ journal_out $ verify $ trace_arg $ metrics_arg
+      $ profile_arg)
   in
   Cmd.v
     (Cmd.info "faults" ~exits

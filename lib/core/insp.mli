@@ -81,6 +81,7 @@ module Obs_span = Insp_obs.Span
 module Obs_export = Insp_obs.Export
 module Obs_journal = Insp_obs.Journal
 module Obs_jsonc = Insp_obs.Jsonc
+module Obs_prof = Insp_obs.Prof
 
 (** {1 Multi-application extension (paper §6 future work)} *)
 

@@ -30,8 +30,13 @@ let map ?jobs f items =
      every cell a spawned worker runs. *)
   let journal = Obs.journaling () in
   let journal_depth = Obs.journal_depth () in
+  (* Profiling is captured here for the same reason; workers get their
+     own fresh Prof.t (explicit [~profile], never shared across
+     domains), and [Obs.absorb] folds worker rows back in canonical
+     cell order, keeping the merged profile independent of [jobs]. *)
+  let profile = Obs.profiling () in
   let run_cell i =
-    try Ok (Obs.with_sink ~journal ~journal_depth (fun () -> f items.(i)))
+    try Ok (Obs.with_sink ~journal ~journal_depth ~profile (fun () -> f items.(i)))
     with e -> Error (i, e)
   in
   let results = Array.make n None in

@@ -119,7 +119,14 @@ let candidate_flows t ~members ~ignore_groups =
     members;
   !acc
 
+(* The probe/commit wrappers below carry "ledger."-tier profiling
+   frames (Obs.prof_enter/prof_exit, free without a profiling sink):
+   they ARE the commit path, and the from-scratch demand/flow work they
+   do around the ledger calls would otherwise surface as anonymous
+   phase self-allocation in prof reports (DESIGN.md §17). *)
+
 let can_host t ~config ~members ?(ignore_groups = []) () =
+  Obs.prof_enter "ledger.probe_host";
   let d = Demand.of_group t.app members in
   let ok, reject =
     verdict_of (Demand.fits config d) (fun () ->
@@ -127,9 +134,12 @@ let can_host t ~config ~members ?(ignore_groups = []) () =
   in
   if Obs.journaling () then
     Obs.event (Journal.Probe { kind = Journal.Host; ops = members; ok; reject });
-  count_probe ok
+  let r = count_probe ok in
+  Obs.prof_exit ();
+  r
 
 let cheapest_hosting t ~members ?(ignore_groups = []) () =
+  Obs.prof_enter "ledger.catalog_scan";
   (* Demand and flows are config-independent: compute them once and scan
      the catalog with the cheap capacity test only. *)
   let d = Demand.of_group t.app members in
@@ -154,6 +164,7 @@ let cheapest_hosting t ~members ?(ignore_groups = []) () =
            reject })
   end;
   ignore (count_probe (found <> None));
+  Obs.prof_exit ();
   found
 
 let acquire t ~config ~members =
@@ -167,6 +178,7 @@ let acquire t ~config ~members =
       (Printf.sprintf "cannot host operators {%s} on the requested processor"
          (String.concat ", " (List.map string_of_int members)))
   else begin
+    Obs.prof_enter "ledger.acquire";
     let gid = Ledger.add_proc t.ledger config in
     List.iter (fun i -> Ledger.add_operator t.ledger gid i) members;
     t.order <- gid :: t.order;
@@ -174,6 +186,7 @@ let acquire t ~config ~members =
     if Obs.journaling () then
       Obs.event
         (Journal.Acquire { gid; config = Catalog.label config; members });
+    Obs.prof_exit ();
     Ok gid
   end
 
@@ -189,6 +202,7 @@ let try_add t gid op =
   if Ledger.assignment t.ledger op <> None then
     invalid_arg "Builder.try_add: operator already assigned";
   check_live t gid;
+  Obs.prof_enter "ledger.try_add";
   let probe = Ledger.probe_add t.ledger gid op in
   let ok, reject =
     verdict_of
@@ -201,11 +215,15 @@ let try_add t gid op =
       (match reject with
       | None -> Journal.Add_op { gid; op; upgrade = None }
       | Some reject -> Journal.Reject_add { gid; op; reject });
-  if ok then begin
-    Ledger.add_operator t.ledger gid op;
-    count_try_add true
-  end
-  else count_try_add false
+  let r =
+    if ok then begin
+      Ledger.add_operator t.ledger gid op;
+      count_try_add true
+    end
+    else count_try_add false
+  in
+  Obs.prof_exit ();
+  r
 
 let sell t gid =
   check_live t gid;
@@ -218,6 +236,7 @@ let try_absorb t winner loser =
   if winner = loser then invalid_arg "Builder.try_absorb: same group";
   check_live t winner;
   check_live t loser;
+  Obs.prof_enter "ledger.try_absorb";
   let probe = Ledger.probe_merge t.ledger ~winner ~loser in
   let ok, reject =
     verdict_of
@@ -230,12 +249,16 @@ let try_absorb t winner loser =
       (match reject with
       | None -> Journal.Merge_groups { winner; loser; upgrade = None }
       | Some reject -> Journal.Reject_merge { winner; loser; reject });
-  if ok then begin
-    Ledger.merge t.ledger ~winner ~loser;
-    t.order <- List.filter (fun id -> id <> loser) t.order;
-    count_absorb true
-  end
-  else count_absorb false
+  let r =
+    if ok then begin
+      Ledger.merge t.ledger ~winner ~loser;
+      t.order <- List.filter (fun id -> id <> loser) t.order;
+      count_absorb true
+    end
+    else count_absorb false
+  in
+  Obs.prof_exit ();
+  r
 
 (* Returns the cheapest hosting configuration plus the rejection reason
    when there is none (for the journal). *)

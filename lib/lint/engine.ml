@@ -58,6 +58,19 @@ let engine_library file =
 
 let hash_order_scoped = engine_library
 
+(* D7 scope — GC state reads are legitimate exactly in the allocation
+   profiler, which owns snapshot placement and the determinism
+   contract for the deltas (DESIGN.md §17), and in bench/, where raw
+   Gc reads are the measurement.  Anywhere else in library code a
+   [Gc.*] call is either untracked attribution (route it through
+   Obs.prof_enter/prof_exit) or a behavioural GC knob no engine should
+   be turning. *)
+let gc_read_sanctioned file =
+  match path_parts file with
+  | "bench" :: _ -> true
+  | [ "lib"; "obs"; "prof.ml" ] -> true
+  | _ -> false
+
 (* P3 scope — the libraries on the 100k-operator data path, where an
    O(n) list search inside a loop turns the whole pass quadratic.  The
    arena/SoA refactor (DESIGN.md §16) indexes this state by dense int
@@ -181,6 +194,7 @@ type ctx = {
   decision_scoped : bool;
   hash_scoped : bool;
   scan_scoped : bool;
+  gc_scoped : bool;
   suppress : Suppress.t;
   mutable sort_depth : int;
   mutable allow_stack : Rule.t list list;
@@ -228,6 +242,15 @@ let check_ident ctx loc path =
       (Printf.sprintf
          "direct printing (%s) in an engine library; decision output must \
           go through Obs.Journal events"
+         (String.concat "." path))
+  | _ -> ());
+  (match path with
+  | "Gc" :: _ when ctx.gc_scoped ->
+    report ctx Rule.D7 loc
+      (Printf.sprintf
+         "GC state read %s in library code; only the allocation profiler \
+          (lib/obs/prof.ml) samples Gc — bracket the work with \
+          Obs.prof_enter/prof_exit instead"
          (String.concat "." path))
   | _ -> ());
   (match path with
@@ -356,6 +379,7 @@ let lint_source ~file source =
       decision_scoped = decision_output_scoped file;
       hash_scoped = hash_order_scoped file;
       scan_scoped = linear_scan_scoped file;
+      gc_scoped = scope_of_file file = Lib && not (gc_read_sanctioned file);
       suppress;
       sort_depth = 0;
       allow_stack = [];

@@ -1,6 +1,6 @@
-type t = D1 | D2 | D3 | D4 | D5 | D6 | F1 | P1 | P2 | P3 | T1 | T2 | T3
+type t = D1 | D2 | D3 | D4 | D5 | D6 | D7 | F1 | P1 | P2 | P3 | T1 | T2 | T3
 
-let all = [ D1; D2; D3; D4; D5; D6; F1; P1; P2; P3; T1; T2; T3 ]
+let all = [ D1; D2; D3; D4; D5; D6; D7; F1; P1; P2; P3; T1; T2; T3 ]
 
 let id = function
   | D1 -> "D1"
@@ -9,6 +9,7 @@ let id = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | D7 -> "D7"
   | F1 -> "F1"
   | P1 -> "P1"
   | P2 -> "P2"
@@ -25,6 +26,7 @@ let of_string s =
   | "d4" -> Some D4
   | "d5" -> Some D5
   | "d6" -> Some D6
+  | "d7" -> Some D7
   | "f1" -> Some F1
   | "p1" -> Some P1
   | "p2" -> Some P2
@@ -49,6 +51,10 @@ let synopsis = function
   | D6 ->
     "unsorted Hashtbl iteration inside an engine library; iterate a \
      key-sorted snapshot so hash order cannot reach observable state"
+  | D7 ->
+    "GC state read outside the allocation profiler; attribution goes \
+     through Obs.prof_enter/prof_exit so lib/obs/prof.ml stays the one \
+     sanctioned Gc reader"
   | F1 -> "float equality/compare needs a tolerance (Insp_util.Stats.approx_eq)"
   | P1 -> "partial stdlib call may raise; match totally or suppress with a reason"
   | P2 -> "every lib module ships an explicit interface (.mli)"

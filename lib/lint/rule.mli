@@ -22,6 +22,12 @@ type t =
           sum) changes observable bits with hash order; iterate a
           key-sorted snapshot instead.  Strictly stronger than [D2]
           inside that scope (and reported instead of it). *)
+  | D7
+      (** no [Gc.*] reads in library code — only the allocation
+          profiler [lib/obs/prof.ml] may sample GC state; engines
+          wanting attribution bracket work with
+          [Obs.prof_enter]/[Obs.prof_exit] (same shape as [D3]'s
+          clock sanction) *)
   | F1  (** no [=]/[<>]/polymorphic [compare] on float literals or known float fields *)
   | P1  (** no partial stdlib calls ([List.hd], [List.nth], [Option.get]) in [lib/] *)
   | P2  (** every [lib/**/*.ml] has a matching [.mli] *)
@@ -50,7 +56,8 @@ type t =
           examples) *)
 
 val all : t list
-(** In report order: D1, D2, D3, D4, D5, D6, F1, P1, P2, P3, T1, T2, T3. *)
+(** In report order: D1, D2, D3, D4, D5, D6, D7, F1, P1, P2, P3, T1,
+    T2, T3. *)
 
 val id : t -> string
 (** Upper-case id, e.g. ["D2"]. *)

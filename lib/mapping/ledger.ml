@@ -4,7 +4,15 @@ module Catalog = Insp_platform.Catalog
 module Platform = Insp_platform.Platform
 module Servers = Insp_platform.Servers
 module Arena = Insp_util.Arena
+module Obs = Insp_obs.Obs
 module Imap = Map.Make (Int)
+
+(* Commit-path allocation attribution (DESIGN.md §17): every mutation
+   and probe below brackets its body with Obs.prof_enter/prof_exit —
+   explicit pairs, not a closure wrapper, so the unprofiled hot path
+   (millions of probes per 100k solve) allocates nothing extra.
+   Argument guards raise before the enter; each function has a single
+   exit point after its last mutation. *)
 
 type proc_id = int
 
@@ -184,6 +192,7 @@ let add_operator t u i =
   if t.assign.(i) <> None then
     invalid_arg "Ledger.add_operator: operator already assigned";
   check_live t u;
+  Obs.prof_enter "ledger.add_op";
   let app = t.app in
   let tree = App.tree app in
   let rho = App.rho app in
@@ -225,12 +234,14 @@ let add_operator t u i =
   Arena.set t.needs u !needs;
   Arena.set t.members u (insert_sorted i (Arena.get t.members u));
   t.assign.(i) <- Some u;
-  bump t u
+  bump t u;
+  Obs.prof_exit ()
 
 let remove_operator t i =
   match t.assign.(i) with
   | None -> invalid_arg "Ledger.remove_operator: operator not assigned"
   | Some u ->
+    Obs.prof_enter "ledger.remove_op";
     let app = t.app in
     let tree = App.tree app in
     let rho = App.rho app in
@@ -284,7 +295,8 @@ let remove_operator t i =
       Arena.fset t.comm_in u 0.0;
       Arena.fset t.comm_out u 0.0
     end;
-    bump t u
+    bump t u;
+    Obs.prof_exit ()
 
 (* ------------------------------------------------------------------ *)
 (* Download-plan deltas                                                *)
@@ -294,6 +306,7 @@ let valid_server t l =
 
 let add_download t u ~obj:k ~server:l =
   check_live t u;
+  Obs.prof_enter "ledger.add_download";
   let dls = Arena.get t.dls u in
   let servers = Option.value ~default:[] (Imap.find_opt k dls) in
   if not (List.mem l servers) then begin
@@ -309,12 +322,14 @@ let add_download t u ~obj:k ~server:l =
       Arena.set t.link_entries.(l) u (Arena.get t.link_entries.(l) u + 1)
     end;
     bump t u
-  end
+  end;
+  Obs.prof_exit ()
 
 let remove_download t u ~obj:k ~server:l =
   check_live t u;
+  Obs.prof_enter "ledger.remove_download";
   let dls = Arena.get t.dls u in
-  match Imap.find_opt k dls with
+  (match Imap.find_opt k dls with
   | Some servers when List.mem l servers ->
     let servers' = List.filter (fun x -> x <> l) servers in
     Arena.set t.dls u
@@ -334,7 +349,8 @@ let remove_download t u ~obj:k ~server:l =
         (if entries <= 0 then 0.0 else Arena.fget t.link_load.(l) u -. rate)
     end;
     bump t u
-  | Some _ | None -> ()
+  | Some _ | None -> ());
+  Obs.prof_exit ()
 
 let remove_proc t u =
   check_live t u;
@@ -387,6 +403,7 @@ let probe_add t u i =
   if t.assign.(i) <> None then
     invalid_arg "Ledger.probe_add: operator already assigned";
   check_live t u;
+  Obs.prof_enter "ledger.probe_add";
   let app = t.app in
   let tree = App.tree app in
   let rho = App.rho app in
@@ -424,16 +441,21 @@ let probe_add t u i =
       (Arena.fget t.need_rate u)
       (uniq_leaves tree i)
   in
-  {
-    demand = { Demand.compute; download; comm_in = !comm_in; comm_out = !comm_out };
-    pair_flows =
-      List.map (fun (v, dw) -> (v, pair_flow t u v +. dw)) !deltas;
-  }
+  let r =
+    {
+      demand =
+        { Demand.compute; download; comm_in = !comm_in; comm_out = !comm_out };
+      pair_flows = List.map (fun (v, dw) -> (v, pair_flow t u v +. dw)) !deltas;
+    }
+  in
+  Obs.prof_exit ();
+  r
 
 let probe_merge t ~winner ~loser =
   if winner = loser then invalid_arg "Ledger.probe_merge: same processor";
   check_live t winner;
   check_live t loser;
+  Obs.prof_enter "ledger.probe_merge";
   let out_wl, in_wl =
     match Imap.find_opt loser (Arena.get t.flows winner) with
     | Some f -> (f.out_w, f.in_w)
@@ -476,17 +498,23 @@ let probe_merge t ~winner ~loser =
     collect loser;
     !acc
   in
-  {
-    demand = { Demand.compute; download; comm_in; comm_out };
-    pair_flows = third_party;
-  }
+  let r =
+    {
+      demand = { Demand.compute; download; comm_in; comm_out };
+      pair_flows = third_party;
+    }
+  in
+  Obs.prof_exit ();
+  r
 
 let merge t ~winner ~loser =
   if winner = loser then invalid_arg "Ledger.merge: same processor";
+  Obs.prof_enter "ledger.merge";
   let moved = operators_of t loser in
   List.iter (fun i -> remove_operator t i) moved;
   remove_proc t loser;
-  List.iter (fun i -> add_operator t winner i) moved
+  List.iter (fun i -> add_operator t winner i) moved;
+  Obs.prof_exit ()
 
 (* ------------------------------------------------------------------ *)
 (* Violations                                                          *)
@@ -643,6 +671,7 @@ let violations t =
 (* Conversions and the oracle cross-check                              *)
 
 let of_alloc app platform alloc =
+  Obs.prof_enter "ledger.of_alloc";
   let t = create app platform in
   for u = 0 to Alloc.n_procs alloc - 1 do
     let id = add_proc t (Alloc.proc alloc u).Alloc.config in
@@ -656,6 +685,7 @@ let of_alloc app platform alloc =
       (fun (k, l) -> add_download t u ~obj:k ~server:l)
       (Alloc.downloads_of alloc u)
   done;
+  Obs.prof_exit ();
   t
 
 let to_alloc t =

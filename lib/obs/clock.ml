@@ -10,15 +10,22 @@
    domain-local so parallel sweep workers never race on it. *)
 
 let t0 = Unix.gettimeofday ()
-let last : float Domain.DLS.key = Domain.DLS.new_key (fun () -> 0.0)
+
+(* The clamp state is a flat mutable float cell rather than a
+   [float Domain.DLS.key]: [Domain.DLS.set] boxes its float argument,
+   and the old code only called it when the clock had advanced past the
+   clamp — allocation conditional on wall-clock VALUES.  The allocation
+   profiler (DESIGN.md §17) surfaced that as a few spurious words of
+   run-to-run span-self noise in otherwise deterministic solves; the
+   unboxed [c.v <- t] store makes every call allocate identically. *)
+type cell = { mutable v : float }
+
+let last : cell Domain.DLS.key = Domain.DLS.new_key (fun () -> { v = 0.0 })
 
 let elapsed_us () =
   let t = (Unix.gettimeofday () -. t0) *. 1e6 in
-  let l = Domain.DLS.get last in
-  if t > l then begin
-    Domain.DLS.set last t;
-    t
-  end
-  else l
+  let c = Domain.DLS.get last in
+  if t > c.v then c.v <- t;
+  c.v
 
 let elapsed_s () = elapsed_us () /. 1e6

@@ -25,6 +25,34 @@ let csv_escape s =
   end
   else s
 
+(* Deterministic percentile estimate over fixed histogram buckets:
+   find the bucket holding the p-th observation (target rank p% of n)
+   and interpolate linearly between its edges (the lower edge of the
+   first bucket is 0).  Ranks landing in the overflow bucket pin to
+   the last finite edge — the Prometheus convention — so the estimate
+   never invents a value beyond the instrumented range. *)
+let percentile (h : Metrics.histogram) p =
+  let counts = h.Metrics.counts in
+  let edges = h.Metrics.edges in
+  let n_edges = Array.length edges in
+  let target = p /. 100.0 *. float_of_int h.Metrics.observations in
+  let rec go i cum =
+    if i >= Array.length counts then edges.(n_edges - 1)
+    else
+      let cum' = cum + counts.(i) in
+      if counts.(i) > 0 && float_of_int cum' >= target then
+        if i >= n_edges then edges.(n_edges - 1)
+        else
+          let lo = if i = 0 then 0.0 else edges.(i - 1) in
+          let hi = edges.(i) in
+          lo
+          +. (target -. float_of_int cum)
+             /. float_of_int counts.(i)
+             *. (hi -. lo)
+      else go (i + 1) cum'
+  in
+  go 0 0
+
 let metrics_csv_header = "kind,name,value"
 
 (* One row per counter and gauge; histograms expand to one row per
@@ -52,7 +80,10 @@ let metrics_csv (o : Obs.t) =
             row "histogram" bucket (string_of_int count))
           h.Metrics.counts;
         row "histogram" (name ^ ".count") (string_of_int h.Metrics.observations);
-        row "histogram" (name ^ ".sum") (fmt_float h.Metrics.sum))
+        row "histogram" (name ^ ".sum") (fmt_float h.Metrics.sum);
+        row "histogram" (name ^ ".p50") (fmt_float (percentile h 50.0));
+        row "histogram" (name ^ ".p90") (fmt_float (percentile h 90.0));
+        row "histogram" (name ^ ".p99") (fmt_float (percentile h 99.0)))
     (Metrics.snapshot o.Obs.metrics);
   Buffer.contents buf
 
@@ -109,8 +140,135 @@ let text_report (o : Obs.t) =
                else Printf.sprintf ">:%d" count)
              h.Metrics.counts)
       in
-      Printf.sprintf "%-32s n=%d [%s]\n" n h.Metrics.observations
-        (String.concat " " cells));
+      Printf.sprintf "%-32s n=%d [%s] p50=%s p90=%s p99=%s\n" n
+        h.Metrics.observations
+        (String.concat " " cells)
+        (fmt_float (percentile h 50.0))
+        (fmt_float (percentile h 90.0))
+        (fmt_float (percentile h 99.0)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Allocation profile                                                  *)
+
+(* Byte-identity contract: [prof_report] and the folded exporters key
+   on minor words only — promoted/major words and collection counts
+   depend on the minor heap's phase at run start and vary run-to-run
+   (DESIGN.md §17).  The full five-metric dump lives in [prof_csv],
+   which makes no byte-identity promise. *)
+
+let fold_sep path = String.map (fun c -> if c = '/' then ';' else c) path
+
+let prof_report ?(top = 20) (o : Obs.t) =
+  match o.Obs.prof with
+  | None -> ""
+  | Some p ->
+    let rows = Prof.rows p in
+    let t = Prof.totals p in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "-- allocation profile (top %d by self minor words) --\n"
+         top);
+    Buffer.add_string buf
+      (Printf.sprintf "run total: %.0f minor words across %d span paths\n"
+         t.Prof.t_minor (List.length rows));
+    let sorted =
+      List.stable_sort
+        (fun a b ->
+          match Float.compare b.Prof.self_minor a.Prof.self_minor with
+          | 0 -> String.compare a.Prof.path b.Prof.path
+          | c -> c)
+        rows
+    in
+    let total = if t.Prof.t_minor > 0.0 then t.Prof.t_minor else 1.0 in
+    List.iteri
+      (fun i r ->
+        if i < top && r.Prof.self_minor > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s x%-9d %14.0f %6.2f%%   cum %.0f\n"
+               r.Prof.path r.Prof.count r.Prof.self_minor
+               (100.0 *. r.Prof.self_minor /. total)
+               r.Prof.cum_minor))
+      sorted;
+    Buffer.contents buf
+
+let prof_csv_header =
+  "path,depth,count,self_minor,cum_minor,self_promoted,cum_promoted,self_major,cum_major,self_minor_col,cum_minor_col,self_major_col,cum_major_col"
+
+let prof_csv (o : Obs.t) =
+  match o.Obs.prof with
+  | None -> ""
+  | Some p ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (prof_csv_header ^ "\n");
+    List.iter
+      (fun (r : Prof.row) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d,%d\n"
+             (csv_escape r.Prof.path) r.Prof.depth r.Prof.count
+             r.Prof.self_minor r.Prof.cum_minor r.Prof.self_promoted
+             r.Prof.cum_promoted r.Prof.self_major r.Prof.cum_major
+             r.Prof.self_minor_collections r.Prof.cum_minor_collections
+             r.Prof.self_major_collections r.Prof.cum_major_collections))
+      (Prof.rows p);
+    Buffer.contents buf
+
+(* Folded-stack flamegraph lines ([a;b;c weight]) — feed to inferno,
+   speedscope or flamegraph.pl.  Alloc flavor weights by self minor
+   words; time flavor weights by self microseconds recomputed from the
+   span recorder's completion-order (= postorder) event stream. *)
+let prof_folded_alloc (o : Obs.t) =
+  match o.Obs.prof with
+  | None -> ""
+  | Some p ->
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (r : Prof.row) ->
+        if r.Prof.self_minor > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s %.0f\n" (fold_sep r.Prof.path) r.Prof.self_minor))
+      (Prof.rows p);
+    Buffer.contents buf
+
+let prof_folded_time (o : Obs.t) =
+  (* postorder walk with a depth-indexed child accumulator: when a
+     span at depth d completes, child.(d+1) holds exactly the summed
+     durations of its direct children (each deeper node consumed its
+     own children's cell on exit), so self = dur - child.(d+1) *)
+  let child = ref (Array.make 16 0.0) in
+  let ensure d =
+    if d >= Array.length !child then begin
+      let b = Array.make (2 * (d + 1)) 0.0 in
+      Array.blit !child 0 b 0 (Array.length !child);
+      child := b
+    end
+  in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span.Mark _ -> ()
+      | Span.Span { path; depth; dur_us; _ } ->
+        ensure (depth + 1);
+        let self = dur_us -. !child.(depth + 1) in
+        !child.(depth + 1) <- 0.0;
+        !child.(depth) <- !child.(depth) +. dur_us;
+        let cur =
+          try Hashtbl.find tbl path
+          with Not_found ->
+            order := path :: !order;
+            0.0
+        in
+        Hashtbl.replace tbl path (cur +. self))
+    (Span.events o.Obs.spans);
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun path ->
+      let v = Hashtbl.find tbl path in
+      if v > 0.0 then
+        Buffer.add_string buf (Printf.sprintf "%s %.0f\n" (fold_sep path) v))
+    (List.rev !order);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -10,12 +10,48 @@ val metrics_csv_header : string
 
 val metrics_csv : Obs.t -> string
 (** One row per counter and gauge; histograms expand to one row per
-    bucket ([name.le.EDGE], [name.overflow]) plus [name.count] and
-    [name.sum]. *)
+    bucket ([name.le.EDGE], [name.overflow]) plus [name.count],
+    [name.sum] and interpolated [name.p50]/[name.p90]/[name.p99]
+    summary rows (see {!percentile}). *)
+
+val percentile : Metrics.histogram -> float -> float
+(** [percentile h p] estimates the [p]-th percentile (0–100) of a
+    histogram by deterministic linear interpolation over its bucket
+    edges (lower edge of the first bucket is 0); a rank landing in the
+    overflow bucket pins to the last finite edge. *)
 
 val text_report : Obs.t -> string
 (** Aggregated span tree (count + total ms per path) followed by
-    counters, gauges and histograms.  Empty sections are omitted. *)
+    counters, gauges and histograms (each with p50/p90/p99).  Empty
+    sections are omitted. *)
+
+val prof_report : ?top:int -> Obs.t -> string
+(** Allocation profile table: the [top] (default 20) span paths by
+    self minor words, with counts, %% of the run's total and
+    cumulative words.  Keyed on minor words only, so the output is
+    byte-identical across same-seed runs (DESIGN.md §17).  [""] when
+    the sink carries no profiler. *)
+
+(* lint: allow t3 — CSV schema kept documented next to the exporter *)
+val prof_csv_header : string
+
+val prof_csv : Obs.t -> string
+(** Every profile row (first-enter order) with all five GC metrics,
+    self and cumulative.  Promoted/major words and collection counts
+    are {e not} run-to-run reproducible; this export makes no
+    byte-identity promise. *)
+
+val prof_folded_alloc : Obs.t -> string
+(** Folded-stack flamegraph lines ([a;b;c weight], one per span path
+    with positive self minor words, weight = self minor words) —
+    inferno / speedscope / flamegraph.pl compatible.  Byte-identical
+    across same-seed runs. *)
+
+val prof_folded_time : Obs.t -> string
+(** Folded-stack lines weighted by self wall-time in microseconds,
+    recomputed from the span recorder; timing-only, so {e not}
+    byte-reproducible.  Works on any sink with spans, profiled or
+    not. *)
 
 val chrome_trace : Obs.t -> string
 (** Chrome [trace_event] JSON Array Format: one ["X"] complete event

@@ -12,13 +12,19 @@
    with no sharing; recorders are merged on the spawning domain via
    [absorb]. *)
 
-type t = { metrics : Metrics.t; spans : Span.t; journal : Journal.t }
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  journal : Journal.t;
+  prof : Prof.t option;
+}
 
-let create () =
+let create ?(profile = false) () =
   {
     metrics = Metrics.create ();
     spans = Span.create ();
     journal = Journal.create ();
+    prof = (if profile then Some (Prof.create ()) else None);
   }
 
 let sink_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
@@ -33,9 +39,26 @@ let enabled () = Option.is_some (active ())
    CLI run) keeps recording decisions.  Worker domains have no enclosing
    sink in their DLS — Par_sweep captures the flag on the calling domain
    and passes it explicitly. *)
-let with_sink ?journal ?journal_depth f =
+let with_sink ?journal ?journal_depth ?profile f =
   let prev = active () in
-  let s = create () in
+  (* [?profile] omitted: inherit the enclosing sink's profiler — the
+     same [Prof.t], not a fresh one, so frames opened inside nested
+     scopes (serve admissions, fault repairs, the solver under a
+     profiled CLI run) accumulate into the run's single profile. *)
+  let prof =
+    match profile with
+    | Some true -> Some (Prof.create ())
+    | Some false -> None
+    | None -> ( match prev with Some p -> p.prof | None -> None)
+  in
+  let s =
+    {
+      metrics = Metrics.create ();
+      spans = Span.create ();
+      journal = Journal.create ();
+      prof;
+    }
+  in
   let inherit_on =
     match prev with Some p -> Journal.recording p.journal | None -> false
   in
@@ -63,7 +86,13 @@ let absorb r =
   | None -> ()
   | Some s ->
     Metrics.merge ~into:s.metrics r.metrics;
-    if Journal.recording s.journal then Journal.merge ~into:s.journal r.journal
+    if Journal.recording s.journal then Journal.merge ~into:s.journal r.journal;
+    (match (s.prof, r.prof) with
+    | Some into, Some src when not (into == src) ->
+      (* a worker's own profile; a nested scope that inherited the
+         run's profiler shares the object and has nothing to fold *)
+      Prof.merge ~into src
+    | _ -> ())
 
 (* --- guarded instrumentation entry points --- *)
 
@@ -94,9 +123,50 @@ let span name f =
   | None -> f ()
   | Some s ->
     Span.enter s.spans name (Clock.elapsed_us ());
+    (* Profiled spans open a detailed Prof frame.  The pre-enter depth
+       is what finally unwinds to: that closes our frame AND any fine
+       frame a raise inside [f] leaked, so one exception cannot skew
+       every later attribution. *)
+    let pdepth =
+      match s.prof with
+      | None -> 0
+      | Some p ->
+        let d = Prof.depth p in
+        Prof.enter_detailed p name;
+        d
+    in
     (* Close over the entered recorder, not the global ref: [f] may
        swap the sink, and enter/exit must stay balanced regardless. *)
-    Fun.protect ~finally:(fun () -> Span.exit s.spans (Clock.elapsed_us ())) f
+    Fun.protect
+      ~finally:(fun () ->
+        (match s.prof with
+        | None -> ()
+        | Some p -> Prof.unwind p ~depth:pdepth);
+        Span.exit s.spans (Clock.elapsed_us ()))
+      f
+
+(* --- profiling entry points --- *)
+
+(* Explicit enter/exit pairs, not a closure-taking wrapper: the ledger
+   commit path calls these millions of times per 100k solve, and a
+   closure would allocate even with profiling off.  Cost when off: one
+   DLS read and a match, zero allocation (pinned by the disabled-sink
+   audit in test_obs). *)
+
+let profiling () =
+  match active () with
+  | None -> false
+  | Some s -> Option.is_some s.prof
+
+let prof_enter name =
+  match active () with
+  | Some { prof = Some p; _ } -> Prof.enter p name
+  | _ -> ()
+
+let prof_exit () =
+  match active () with
+  | Some { prof = Some p; _ } -> Prof.exit p
+  | _ -> ()
 
 (* --- journal entry points --- *)
 

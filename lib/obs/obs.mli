@@ -12,12 +12,20 @@
     Determinism contract: recorded {e values} (counters, gauges,
     histogram counts, span paths and order) are deterministic for a
     deterministic computation; span {e durations} and mark timestamps
-    are timing-only and must never feed back into results. *)
+    are timing-only and must never feed back into results.  Profiled
+    minor-word deltas ({!Prof}) are deterministic; promoted/major words
+    and collection counts are not (minor-heap phase at run start). *)
 
-type t = { metrics : Metrics.t; spans : Span.t; journal : Journal.t }
+type t = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  journal : Journal.t;
+  prof : Prof.t option;
+}
 
-val create : unit -> t
-(** Fresh sink; the journal starts disabled (see {!with_sink}). *)
+val create : ?profile:bool -> unit -> t
+(** Fresh sink; the journal starts disabled (see {!with_sink}) and the
+    allocation profiler is attached only when [~profile:true]. *)
 
 (* lint: allow t3 — recorder lifecycle API for embedders *)
 val install : t -> unit
@@ -31,13 +39,18 @@ val active : unit -> t option
 
 val enabled : unit -> bool
 
-val with_sink : ?journal:bool -> ?journal_depth:int -> (unit -> 'a) -> 'a * t
+val with_sink :
+  ?journal:bool -> ?journal_depth:int -> ?profile:bool -> (unit -> 'a) -> 'a * t
 (** Run [f] with a fresh sink installed, restoring the previously
     installed sink afterwards (also on exceptions) — nests safely;
     returns [f]'s result and the filled sink.  [?journal] enables
     decision journaling in the fresh sink; when omitted, journaling (and
     its depth) is inherited from the enclosing sink of {e this} domain,
-    so nested scopes under a journaling run keep recording. *)
+    so nested scopes under a journaling run keep recording.  [?profile]
+    likewise defaults to the enclosing sink's profiling state — and an
+    inherited profile {e shares} the enclosing sink's {!Prof.t}, so
+    frames opened by nested scopes (serve admissions, fault repairs)
+    keep accumulating into the one profile of the run. *)
 
 val absorb : t -> unit
 (** [absorb r] merges [r]'s metrics into the currently installed sink
@@ -45,7 +58,10 @@ val absorb : t -> unit
     appends [r]'s journal events (see {!Journal.merge}).  A no-op when
     none is installed.  [r]'s spans are dropped — they are timing-only
     by the determinism contract, and a worker's span tree has no stable
-    place in the absorbing domain's. *)
+    place in the absorbing domain's.  When both sinks carry a profiler
+    and they are distinct objects (a worker's, not a nested scope
+    sharing the run's), [r]'s profile rows are folded in with
+    {!Prof.merge}. *)
 
 (** {1 Guarded entry points} — no-ops when no sink is installed. *)
 
@@ -60,7 +76,29 @@ val mark : string -> unit
 (** Record an instant event under the current span path. *)
 
 val span : string -> (unit -> 'a) -> 'a
-(** [span name f] runs [f] inside a span; exception-safe. *)
+(** [span name f] runs [f] inside a span; exception-safe.  When the
+    sink is profiling, the span also opens a {e detailed} {!Prof}
+    frame (all five GC metrics), and on exit unwinds any fine frame a
+    raise inside [f] may have leaked. *)
+
+(** {1 Profiling entry points}
+
+    The commit-path engines bracket mutations with explicit
+    [prof_enter]/[prof_exit] pairs rather than a closure-taking
+    wrapper: a closure would allocate even with profiling off, and
+    these sites run millions of times per 100k-operator solve.  With
+    no sink — or a sink without a profiler — each call is one
+    domain-local read and a match, allocating nothing. *)
+
+val profiling : unit -> bool
+(** The installed sink, if any, carries an allocation profiler. *)
+
+val prof_enter : string -> unit
+(** Open a fine profiler frame (minor words only; see
+    {!Prof.enter}). *)
+
+val prof_exit : unit -> unit
+(** Close the innermost profiler frame. *)
 
 (** {1 Journal entry points}
 

@@ -1,0 +1,419 @@
+(* Span-attributed allocation/GC profiler (DESIGN.md §17).
+
+   Structure-of-arrays on both axes, matching the arena idiom of
+   DESIGN.md §16: the frame stack and the row table are parallel
+   columns (unboxed float arrays for word counters), so opening and
+   closing a fine frame allocates nothing beyond the boxed float that
+   [Gc.minor_words] itself returns (~3 words), and a row is a dense
+   int id interned once per distinct path.
+
+   Snapshot placement: the GC read is the LAST thing enter does and
+   the FIRST thing exit does, so the profiler's own bookkeeping words
+   land in the parent frame's self time, never in the measured span.
+
+   This module is the one sanctioned reader of GC state outside
+   bench/ (lint rule D7); engines must route attribution through
+   Obs.prof_enter/prof_exit. *)
+
+type row = {
+  path : string;
+  depth : int;
+  count : int;
+  self_minor : float;
+  cum_minor : float;
+  self_promoted : float;
+  cum_promoted : float;
+  self_major : float;
+  cum_major : float;
+  self_minor_collections : int;
+  cum_minor_collections : int;
+  self_major_collections : int;
+  cum_major_collections : int;
+}
+
+type totals = {
+  t_minor : float;
+  t_promoted : float;
+  t_major : float;
+  t_minor_collections : int;
+  t_major_collections : int;
+}
+
+type t = {
+  (* row table: one entry per distinct span path, in first-enter order *)
+  mutable rows : int;
+  mutable r_name : string array;
+  mutable r_parent : int array; (* row id, -1 for roots *)
+  mutable r_path : string array;
+  mutable r_depth : int array;
+  mutable r_count : int array;
+  mutable r_self_minor : float array;
+  mutable r_cum_minor : float array;
+  mutable r_self_promoted : float array;
+  mutable r_cum_promoted : float array;
+  mutable r_self_major : float array;
+  mutable r_cum_major : float array;
+  mutable r_self_mcol : int array;
+  mutable r_cum_mcol : int array;
+  mutable r_self_jcol : int array;
+  mutable r_cum_jcol : int array;
+  mutable r_children : (string, int) Hashtbl.t array;
+  roots : (string, int) Hashtbl.t;
+  (* frame stack *)
+  mutable depth : int;
+  mutable f_row : int array;
+  mutable f_detailed : bool array;
+  mutable f_minor0 : float array;
+  mutable f_promoted0 : float array;
+  mutable f_major0 : float array;
+  mutable f_mcol0 : int array;
+  mutable f_jcol0 : int array;
+  (* per-frame accumulators: direct-child minor deltas, and detailed
+     deltas of detailed descendants not yet claimed by a detailed
+     ancestor (fine frames pass these through at exit) *)
+  mutable f_child_minor : float array;
+  mutable f_child_promoted : float array;
+  mutable f_child_major : float array;
+  mutable f_child_mcol : int array;
+  mutable f_child_jcol : int array;
+  (* deltas accumulated across completed top-level frames *)
+  mutable total_minor : float;
+  mutable total_promoted : float;
+  mutable total_major : float;
+  mutable total_mcol : int;
+  mutable total_jcol : int;
+}
+
+(* Placeholder for unset [r_children] slots; overwritten by [new_row]
+   before any lookup can reach the slot.  Allocated fresh per slot — a
+   shared top-level table would be cross-domain-reachable mutable state
+   (lint T1) once a sweep worker captures a profiling sink. *)
+let dummy_children () : (string, int) Hashtbl.t = Hashtbl.create 1
+
+let create () =
+  {
+    rows = 0;
+    r_name = Array.make 16 "";
+    r_parent = Array.make 16 (-1);
+    r_path = Array.make 16 "";
+    r_depth = Array.make 16 0;
+    r_count = Array.make 16 0;
+    r_self_minor = Array.make 16 0.0;
+    r_cum_minor = Array.make 16 0.0;
+    r_self_promoted = Array.make 16 0.0;
+    r_cum_promoted = Array.make 16 0.0;
+    r_self_major = Array.make 16 0.0;
+    r_cum_major = Array.make 16 0.0;
+    r_self_mcol = Array.make 16 0;
+    r_cum_mcol = Array.make 16 0;
+    r_self_jcol = Array.make 16 0;
+    r_cum_jcol = Array.make 16 0;
+    r_children = Array.init 16 (fun _ -> dummy_children ());
+    roots = Hashtbl.create 8;
+    depth = 0;
+    f_row = Array.make 64 0;
+    f_detailed = Array.make 64 false;
+    f_minor0 = Array.make 64 0.0;
+    f_promoted0 = Array.make 64 0.0;
+    f_major0 = Array.make 64 0.0;
+    f_mcol0 = Array.make 64 0;
+    f_jcol0 = Array.make 64 0;
+    f_child_minor = Array.make 64 0.0;
+    f_child_promoted = Array.make 64 0.0;
+    f_child_major = Array.make 64 0.0;
+    f_child_mcol = Array.make 64 0;
+    f_child_jcol = Array.make 64 0;
+    total_minor = 0.0;
+    total_promoted = 0.0;
+    total_major = 0.0;
+    total_mcol = 0;
+    total_jcol = 0;
+  }
+
+let grow_i a n =
+  let b = Array.make n 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_f a n =
+  let b = Array.make n 0.0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_b a n =
+  let b = Array.make n false in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_s a n =
+  let b = Array.make n "" in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_h a n =
+  let b = Array.init n (fun _ -> dummy_children ()) in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_rows t =
+  let cap = Array.length t.r_count in
+  if t.rows = cap then begin
+    let n = cap * 2 in
+    t.r_name <- grow_s t.r_name n;
+    t.r_parent <- grow_i t.r_parent n;
+    t.r_path <- grow_s t.r_path n;
+    t.r_depth <- grow_i t.r_depth n;
+    t.r_count <- grow_i t.r_count n;
+    t.r_self_minor <- grow_f t.r_self_minor n;
+    t.r_cum_minor <- grow_f t.r_cum_minor n;
+    t.r_self_promoted <- grow_f t.r_self_promoted n;
+    t.r_cum_promoted <- grow_f t.r_cum_promoted n;
+    t.r_self_major <- grow_f t.r_self_major n;
+    t.r_cum_major <- grow_f t.r_cum_major n;
+    t.r_self_mcol <- grow_i t.r_self_mcol n;
+    t.r_cum_mcol <- grow_i t.r_cum_mcol n;
+    t.r_self_jcol <- grow_i t.r_self_jcol n;
+    t.r_cum_jcol <- grow_i t.r_cum_jcol n;
+    t.r_children <- grow_h t.r_children n
+  end
+
+let ensure_stack t =
+  let cap = Array.length t.f_row in
+  if t.depth = cap then begin
+    let n = cap * 2 in
+    t.f_row <- grow_i t.f_row n;
+    t.f_detailed <- grow_b t.f_detailed n;
+    t.f_minor0 <- grow_f t.f_minor0 n;
+    t.f_promoted0 <- grow_f t.f_promoted0 n;
+    t.f_major0 <- grow_f t.f_major0 n;
+    t.f_mcol0 <- grow_i t.f_mcol0 n;
+    t.f_jcol0 <- grow_i t.f_jcol0 n;
+    t.f_child_minor <- grow_f t.f_child_minor n;
+    t.f_child_promoted <- grow_f t.f_child_promoted n;
+    t.f_child_major <- grow_f t.f_child_major n;
+    t.f_child_mcol <- grow_i t.f_child_mcol n;
+    t.f_child_jcol <- grow_i t.f_child_jcol n
+  end
+
+let new_row t name parent =
+  ensure_rows t;
+  let id = t.rows in
+  t.rows <- id + 1;
+  t.r_name.(id) <- name;
+  t.r_parent.(id) <- parent;
+  if parent < 0 then begin
+    t.r_path.(id) <- name;
+    t.r_depth.(id) <- 1
+  end
+  else begin
+    t.r_path.(id) <- t.r_path.(parent) ^ "/" ^ name;
+    t.r_depth.(id) <- t.r_depth.(parent) + 1
+  end;
+  t.r_children.(id) <- Hashtbl.create 8;
+  id
+
+(* [try ... with Not_found] rather than [find_opt]: the hit path (the
+   overwhelmingly common one) must not allocate a [Some]. *)
+let row_for t name =
+  let parent = if t.depth = 0 then -1 else t.f_row.(t.depth - 1) in
+  let tbl = if parent < 0 then t.roots else t.r_children.(parent) in
+  try Hashtbl.find tbl name
+  with Not_found ->
+    let id = new_row t name parent in
+    Hashtbl.add tbl name id;
+    id
+
+let open_frame t name ~detailed =
+  let id = row_for t name in
+  ensure_stack t;
+  let k = t.depth in
+  t.f_row.(k) <- id;
+  t.f_detailed.(k) <- detailed;
+  t.f_child_minor.(k) <- 0.0;
+  t.f_child_promoted.(k) <- 0.0;
+  t.f_child_major.(k) <- 0.0;
+  t.f_child_mcol.(k) <- 0;
+  t.f_child_jcol.(k) <- 0;
+  t.depth <- k + 1;
+  k
+
+let enter t name =
+  let k = open_frame t name ~detailed:false in
+  (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+  t.f_minor0.(k) <- Gc.minor_words ()
+
+let enter_detailed t name =
+  let k = open_frame t name ~detailed:true in
+  (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+  let s = Gc.quick_stat () in
+  t.f_promoted0.(k) <- s.Gc.promoted_words;
+  t.f_major0.(k) <- s.Gc.major_words;
+  t.f_mcol0.(k) <- s.Gc.minor_collections;
+  t.f_jcol0.(k) <- s.Gc.major_collections;
+  (* Minor words come from [Gc.minor_words], NOT [s.Gc.minor_words]: on
+     OCaml 5 the quick_stat/counters figure only advances at minor
+     collections (the live young-area fill is not added in), which
+     quantizes span deltas to whole minor heaps — a phase allocating
+     under one heap's worth reads as zero, and self words can go
+     negative against precise child frames.  [Gc.minor_words] reads the
+     live allocation pointer and is allocation-exact, which is what the
+     determinism contract needs; read it last so the quick_stat words
+     land in this frame's self, not the span body's measurement. *)
+  (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+  t.f_minor0.(k) <- Gc.minor_words ()
+
+let exit t =
+  if t.depth > 0 then
+    if t.f_detailed.(t.depth - 1) then begin
+      (* precise minor words first (see enter_detailed), quick_stat for
+         the collection-grained metrics after *)
+      (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+      let minor1 = Gc.minor_words () in
+      (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+      let s = Gc.quick_stat () in
+      let k = t.depth - 1 in
+      t.depth <- k;
+      let id = t.f_row.(k) in
+      let d_minor = minor1 -. t.f_minor0.(k) in
+      let d_prom = s.Gc.promoted_words -. t.f_promoted0.(k) in
+      let d_major = s.Gc.major_words -. t.f_major0.(k) in
+      let d_mcol = s.Gc.minor_collections - t.f_mcol0.(k) in
+      let d_jcol = s.Gc.major_collections - t.f_jcol0.(k) in
+      t.r_count.(id) <- t.r_count.(id) + 1;
+      t.r_cum_minor.(id) <- t.r_cum_minor.(id) +. d_minor;
+      t.r_self_minor.(id) <-
+        t.r_self_minor.(id) +. (d_minor -. t.f_child_minor.(k));
+      t.r_cum_promoted.(id) <- t.r_cum_promoted.(id) +. d_prom;
+      t.r_self_promoted.(id) <-
+        t.r_self_promoted.(id) +. (d_prom -. t.f_child_promoted.(k));
+      t.r_cum_major.(id) <- t.r_cum_major.(id) +. d_major;
+      t.r_self_major.(id) <-
+        t.r_self_major.(id) +. (d_major -. t.f_child_major.(k));
+      t.r_cum_mcol.(id) <- t.r_cum_mcol.(id) + d_mcol;
+      t.r_self_mcol.(id) <- t.r_self_mcol.(id) + (d_mcol - t.f_child_mcol.(k));
+      t.r_cum_jcol.(id) <- t.r_cum_jcol.(id) + d_jcol;
+      t.r_self_jcol.(id) <- t.r_self_jcol.(id) + (d_jcol - t.f_child_jcol.(k));
+      if k > 0 then begin
+        let j = k - 1 in
+        t.f_child_minor.(j) <- t.f_child_minor.(j) +. d_minor;
+        t.f_child_promoted.(j) <- t.f_child_promoted.(j) +. d_prom;
+        t.f_child_major.(j) <- t.f_child_major.(j) +. d_major;
+        t.f_child_mcol.(j) <- t.f_child_mcol.(j) + d_mcol;
+        t.f_child_jcol.(j) <- t.f_child_jcol.(j) + d_jcol
+      end
+      else begin
+        t.total_minor <- t.total_minor +. d_minor;
+        t.total_promoted <- t.total_promoted +. d_prom;
+        t.total_major <- t.total_major +. d_major;
+        t.total_mcol <- t.total_mcol + d_mcol;
+        t.total_jcol <- t.total_jcol + d_jcol
+      end
+    end
+    else begin
+      (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+      let minor1 = Gc.minor_words () in
+      let k = t.depth - 1 in
+      t.depth <- k;
+      let id = t.f_row.(k) in
+      let d_minor = minor1 -. t.f_minor0.(k) in
+      t.r_count.(id) <- t.r_count.(id) + 1;
+      t.r_cum_minor.(id) <- t.r_cum_minor.(id) +. d_minor;
+      t.r_self_minor.(id) <-
+        t.r_self_minor.(id) +. (d_minor -. t.f_child_minor.(k));
+      if k > 0 then begin
+        (* detailed accumulators pass through to the nearest enclosing
+           detailed ancestor untouched: a fine frame measures minor
+           words only *)
+        let j = k - 1 in
+        t.f_child_minor.(j) <- t.f_child_minor.(j) +. d_minor;
+        t.f_child_promoted.(j) <- t.f_child_promoted.(j) +. t.f_child_promoted.(k);
+        t.f_child_major.(j) <- t.f_child_major.(j) +. t.f_child_major.(k);
+        t.f_child_mcol.(j) <- t.f_child_mcol.(j) + t.f_child_mcol.(k);
+        t.f_child_jcol.(j) <- t.f_child_jcol.(j) + t.f_child_jcol.(k)
+      end
+      else begin
+        t.total_minor <- t.total_minor +. d_minor;
+        t.total_promoted <- t.total_promoted +. t.f_child_promoted.(k);
+        t.total_major <- t.total_major +. t.f_child_major.(k);
+        t.total_mcol <- t.total_mcol + t.f_child_mcol.(k);
+        t.total_jcol <- t.total_jcol + t.f_child_jcol.(k)
+      end
+    end
+
+let depth t = t.depth
+
+let unwind t ~depth =
+  while t.depth > depth do
+    exit t
+  done
+
+let rows t =
+  List.init t.rows (fun id ->
+      {
+        path = t.r_path.(id);
+        depth = t.r_depth.(id);
+        count = t.r_count.(id);
+        self_minor = t.r_self_minor.(id);
+        cum_minor = t.r_cum_minor.(id);
+        self_promoted = t.r_self_promoted.(id);
+        cum_promoted = t.r_cum_promoted.(id);
+        self_major = t.r_self_major.(id);
+        cum_major = t.r_cum_major.(id);
+        self_minor_collections = t.r_self_mcol.(id);
+        cum_minor_collections = t.r_cum_mcol.(id);
+        self_major_collections = t.r_self_jcol.(id);
+        cum_major_collections = t.r_cum_jcol.(id);
+      })
+
+let totals t =
+  {
+    t_minor = t.total_minor;
+    t_promoted = t.total_promoted;
+    t_major = t.total_major;
+    t_minor_collections = t.total_mcol;
+    t_major_collections = t.total_jcol;
+  }
+
+let merge ~into src =
+  let map = Array.make (max 1 src.rows) (-1) in
+  for id = 0 to src.rows - 1 do
+    (* a parent row is always created before its children, so
+       [map.(parent)] is already resolved when we reach [id] *)
+    let parent = src.r_parent.(id) in
+    let dparent = if parent < 0 then -1 else map.(parent) in
+    let tbl = if dparent < 0 then into.roots else into.r_children.(dparent) in
+    let name = src.r_name.(id) in
+    let did =
+      try Hashtbl.find tbl name
+      with Not_found ->
+        let d = new_row into name dparent in
+        Hashtbl.add tbl name d;
+        d
+    in
+    map.(id) <- did;
+    into.r_count.(did) <- into.r_count.(did) + src.r_count.(id);
+    into.r_self_minor.(did) <- into.r_self_minor.(did) +. src.r_self_minor.(id);
+    into.r_cum_minor.(did) <- into.r_cum_minor.(did) +. src.r_cum_minor.(id);
+    into.r_self_promoted.(did) <-
+      into.r_self_promoted.(did) +. src.r_self_promoted.(id);
+    into.r_cum_promoted.(did) <-
+      into.r_cum_promoted.(did) +. src.r_cum_promoted.(id);
+    into.r_self_major.(did) <- into.r_self_major.(did) +. src.r_self_major.(id);
+    into.r_cum_major.(did) <- into.r_cum_major.(did) +. src.r_cum_major.(id);
+    into.r_self_mcol.(did) <- into.r_self_mcol.(did) + src.r_self_mcol.(id);
+    into.r_cum_mcol.(did) <- into.r_cum_mcol.(did) + src.r_cum_mcol.(id);
+    into.r_self_jcol.(did) <- into.r_self_jcol.(did) + src.r_self_jcol.(id);
+    into.r_cum_jcol.(did) <- into.r_cum_jcol.(did) + src.r_cum_jcol.(id)
+  done;
+  into.total_minor <- into.total_minor +. src.total_minor;
+  into.total_promoted <- into.total_promoted +. src.total_promoted;
+  into.total_major <- into.total_major +. src.total_major;
+  into.total_mcol <- into.total_mcol + src.total_mcol;
+  into.total_jcol <- into.total_jcol + src.total_jcol
+
+let allocated_minor_words f =
+  (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+  let a = Gc.minor_words () in
+  f ();
+  (* lint: allow d7 — the profiler is the sanctioned GC reader *)
+  Gc.minor_words () -. a

@@ -1,0 +1,92 @@
+(** Span-attributed allocation/GC profiler (DESIGN.md §17).
+
+    A [t] is a mutable call-tree keyed on span names, mirroring
+    [Span]'s aggregation but weighted by GC counters instead of wall
+    time.  Frames snapshot GC state at enter/exit and roll the deltas
+    into per-path self and cumulative totals.  Two frame flavors keep
+    hot paths cheap:
+
+    - {b fine} frames ([enter]/[exit]) read only [Gc.minor_words] —
+      a few words of profiler overhead per frame — and are what the
+      ledger commit path opens around every mutation;
+    - {b detailed} frames ([enter_detailed], opened by [Obs.span])
+      additionally read [Gc.quick_stat] for promoted/major words and
+      collection counts.
+
+    Detailed deltas recorded by a detailed frame attribute to the
+    nearest enclosing detailed span: fine frames pass their detailed
+    child accumulators through to their parent untouched.
+
+    Determinism contract: minor-word deltas are a deterministic
+    function of a deterministic execution and are golden-testable.
+    Promoted/major words and collection counts depend on the minor
+    heap's phase at run start and are {e not} reproducible run-to-run;
+    exporters that promise byte-identity key on minor words only. *)
+
+type t
+
+type row = {
+  path : string;  (** '/'-joined span names from the root *)
+  depth : int;  (** 1 for root frames *)
+  count : int;  (** completed frames at this path *)
+  self_minor : float;
+  cum_minor : float;  (** minor words: self excludes direct children *)
+  self_promoted : float;
+  cum_promoted : float;
+  self_major : float;
+  cum_major : float;
+  self_minor_collections : int;
+  cum_minor_collections : int;
+  self_major_collections : int;
+  cum_major_collections : int;
+}
+
+type totals = {
+  t_minor : float;
+  t_promoted : float;
+  t_major : float;
+  t_minor_collections : int;
+  t_major_collections : int;
+}
+
+val create : unit -> t
+
+val enter : t -> string -> unit
+(** Open a fine frame named [name] under the current frame.  Reads
+    [Gc.minor_words] only. *)
+
+val enter_detailed : t -> string -> unit
+(** Open a detailed frame: additionally snapshots [Gc.quick_stat]. *)
+
+val exit : t -> unit
+(** Close the innermost frame, folding its deltas into its row and its
+    parent's child accumulators.  A no-op on an empty stack, so an
+    unbalanced [exit] cannot raise out of instrumented code. *)
+
+val depth : t -> int
+(** Current open-frame count (0 when idle). *)
+
+val unwind : t -> depth:int -> unit
+(** [unwind t ~depth:d] exits frames until [depth t <= d].  Exception
+    cleanup for scoped spans: a frame leaked by a raise inside the span
+    body is closed (with whatever was allocated up to the raise) rather
+    than skewing every later attribution. *)
+
+val rows : t -> row list
+(** All rows in first-enter order — deterministic for a deterministic
+    execution. *)
+
+val totals : t -> totals
+(** Deltas accumulated across completed top-level frames. *)
+
+val merge : into:t -> t -> unit
+(** Fold every row of the source profile into [into], matching rows by
+    tree position and creating missing ones in the source's row order.
+    Totals add.  The source's open frames (if any) are ignored. *)
+
+val allocated_minor_words : (unit -> unit) -> float
+(** Minor words allocated while running the thunk, measured with the
+    same [Gc.minor_words] read the profiler uses.  The reported delta
+    includes the constant cost of the snapshot reads themselves (the
+    returned float of [Gc.minor_words] is boxed), so callers comparing
+    against "zero" must calibrate against an empty thunk. *)

@@ -306,6 +306,45 @@ let test_d6_suppressed () =
 |})
 
 (* ------------------------------------------------------------------ *)
+(* D7: Gc reads outside the allocation profiler                        *)
+
+let d7_src = {|let s = Gc.quick_stat ()
+|}
+
+let test_d7_positive () =
+  check_reports "D7 fires in lib"
+    [
+      "lib/fixture.ml:1:8: [D7] GC state read Gc.quick_stat in library \
+       code; only the allocation profiler (lib/obs/prof.ml) samples Gc — \
+       bracket the work with Obs.prof_enter/prof_exit instead";
+    ]
+    (lint d7_src);
+  (* The sanction is a single file, not the whole obs library: a Gc
+     read in a sibling module still fires. *)
+  check_reports "D7 fires under lib/obs outside the profiler module"
+    [
+      "lib/obs/metrics.ml:1:8: [D7] GC state read Gc.minor_words in \
+       library code; only the allocation profiler (lib/obs/prof.ml) \
+       samples Gc — bracket the work with Obs.prof_enter/prof_exit instead";
+    ]
+    (lint ~file:"lib/obs/metrics.ml" {|let w = Gc.minor_words ()
+|})
+
+let test_d7_negative () =
+  check_reports "bench is exempt: raw Gc reads are the measurement" []
+    (lint ~file:"bench/fixture.ml" d7_src);
+  check_reports "the allocation profiler is the sanctioned reader" []
+    (lint ~file:"lib/obs/prof.ml" d7_src);
+  check_reports "test scope is exempt" []
+    (lint ~file:"test/fixture.ml" d7_src)
+
+let test_d7_suppressed () =
+  check_reports "comment directive on the preceding line" []
+    (lint {|(* lint: allow d7 — one-shot heap figure in a debug dump *)
+let s = Gc.quick_stat ()
+|})
+
+(* ------------------------------------------------------------------ *)
 (* F1: float equality / polymorphic compare                            *)
 
 let test_f1_positive () =
@@ -970,6 +1009,12 @@ let () =
           Alcotest.test_case "positive" `Quick test_d6_positive;
           Alcotest.test_case "negative" `Quick test_d6_negative;
           Alcotest.test_case "suppressed" `Quick test_d6_suppressed;
+        ] );
+      ( "d7",
+        [
+          Alcotest.test_case "positive" `Quick test_d7_positive;
+          Alcotest.test_case "negative" `Quick test_d7_negative;
+          Alcotest.test_case "suppressed" `Quick test_d7_suppressed;
         ] );
       ( "f1",
         [

@@ -93,6 +93,26 @@ let test_histogram_bucket_edges () =
     Helpers.alco_float "sum" 17.0 h.Metrics.sum
   | _ -> Alcotest.fail "expected exactly one histogram"
 
+(* Direct check of the linear-interpolation rule behind the
+   p50/p90/p99 exporter rows: ranks inside a bucket interpolate between
+   its edges (lower edge of bucket 0 is 0), ranks in the overflow
+   bucket pin to the last finite edge. *)
+let test_percentile_interpolation () =
+  let (), r =
+    Obs.with_sink (fun () ->
+        List.iter
+          (Obs.observe ~edges:[| 1.0; 2.0; 5.0 |] "h")
+          [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ])
+  in
+  match Metrics.snapshot r.Obs.metrics with
+  | [ ("h", Metrics.Histogram_v h) ] ->
+    Helpers.alco_float "p0 at lower edge" 0.0 (Export.percentile h 0.0);
+    Helpers.alco_float "p50 interpolates" 1.5 (Export.percentile h 50.0);
+    Helpers.alco_float "p90 pins to last edge" 5.0 (Export.percentile h 90.0);
+    Helpers.alco_float "p100 pins to last edge" 5.0
+      (Export.percentile h 100.0)
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
 let test_histogram_rejects_bad_edges () =
   let raises f =
     match Obs.with_sink f with
@@ -162,7 +182,10 @@ let test_metrics_csv_golden () =
      histogram,h.le.2,1\n\
      histogram,h.overflow,1\n\
      histogram,h.count,3\n\
-     histogram,h.sum,11.5\n"
+     histogram,h.sum,11.5\n\
+     histogram,h.p50,1.5\n\
+     histogram,h.p90,2\n\
+     histogram,h.p99,2\n"
     (Export.metrics_csv r)
 
 (* ------------------------------------------------------------------ *)
@@ -421,6 +444,121 @@ let test_probe_count_regression () =
   Alcotest.(check (option int)) "hits + misses = probes" (Some (hits + misses))
     (counter "heur.probe")
 
+(* ------------------------------------------------------------------ *)
+(* Allocation profiler (Obs.Prof)                                      *)
+
+module Prof = Insp.Obs_prof
+
+(* One profiled comp-greedy solve of the scale preset (small N keeps the
+   test quick; the bench alloc.100k row covers the full size). *)
+let profiled_scale_solve () =
+  let inst =
+    match
+      Insp.Instance.generate_checked (Insp.Config.scale ~n_operators:2000 ())
+    with
+    | Ok t -> t
+    | Error e -> failwith (Insp.Instance.gen_error_message e)
+  in
+  let outcome, r =
+    Obs.with_sink ~profile:true (fun () ->
+        Insp.Solve.run ~seed:1
+          (Option.get (Insp.Solve.find "comp"))
+          inst.Insp.Instance.app inst.Insp.Instance.platform)
+  in
+  (match outcome with
+  | Ok _ -> ()
+  | Error f -> failwith (Insp.Solve.failure_message f));
+  r
+
+(* Minor-word deltas are a deterministic function of a deterministic
+   execution (DESIGN.md §17): the minor-words-keyed exports must be
+   byte-identical across two same-seed runs.  (prof_csv additionally
+   carries promoted/major columns, which depend on minor-heap phase at
+   run start and make no such promise.) *)
+let test_prof_deterministic () =
+  let a = profiled_scale_solve () in
+  let b = profiled_scale_solve () in
+  Alcotest.(check string) "identical prof_report" (Export.prof_report a)
+    (Export.prof_report b);
+  Alcotest.(check string) "identical folded alloc stacks"
+    (Export.prof_folded_alloc a)
+    (Export.prof_folded_alloc b)
+
+(* Attribution granularity: within the commit path (the placement phase
+   subtree) the ledger.* spans must carry at least 80% of the self minor
+   words — anonymous phase self cannot direct flattening work. *)
+let test_prof_commit_path_attribution () =
+  let r = profiled_scale_solve () in
+  let p = Option.get r.Obs.prof in
+  let segs (row : Prof.row) = String.split_on_char '/' row.Prof.path in
+  let is_ledger row =
+    List.exists
+      (fun seg -> String.length seg >= 7 && String.sub seg 0 7 = "ledger.")
+      (segs row)
+  in
+  let total, ledger =
+    List.fold_left
+      (fun (t, l) row ->
+        if List.mem "placement" (segs row) then
+          ( t +. row.Prof.self_minor,
+            if is_ledger row then l +. row.Prof.self_minor else l )
+        else (t, l))
+      (0.0, 0.0) (Prof.rows p)
+  in
+  Alcotest.(check bool) "commit path has ledger rows" true
+    (Float.compare ledger 0.0 > 0);
+  let share = ledger /. total in
+  if Float.compare share 0.8 < 0 then
+    Alcotest.failf "ledger self share of the commit path is %.1f%% (< 80%%)"
+      (100.0 *. share)
+
+(* With no sink installed the profiling entry points must not allocate:
+   both loops below pay the identical constant cost of the bracketing
+   [Gc.minor_words] reads inside [allocated_minor_words], so the two
+   measurements are equal exactly when the 10k guarded calls allocate
+   nothing.  Audited with Prof's own primitive. *)
+let test_prof_disabled_zero_alloc () =
+  Alcotest.(check bool) "no sink" false (Obs.enabled ());
+  let body () =
+    for _ = 1 to 10_000 do
+      Obs.prof_enter "audit";
+      Obs.prof_exit ();
+      ignore (Obs.span "audit" (fun () -> 0))
+    done
+  in
+  (* Warm-up: first calls may fault in DLS state. *)
+  body ();
+  let empty = Prof.allocated_minor_words (fun () -> ()) in
+  let guarded = Prof.allocated_minor_words body in
+  if Float.compare guarded empty <> 0 then
+    Alcotest.failf
+      "disabled profiling calls allocated %.0f words over 10k iterations"
+      (guarded -. empty)
+
+(* Folded-stack regression for the 20-operator reference instance, the
+   alloc analogue of probe_counts.golden: a change in commit-path
+   allocation shows up as a reviewable diff of test/alloc_counts.golden.
+   Regenerate by pasting the "actual" rendering the failure prints. *)
+let test_alloc_count_regression () =
+  let inst =
+    Insp.Instance.generate
+      (Insp.Config.make ~n_operators:20 ~alpha:0.9 ~seed:1 ())
+  in
+  let solve () =
+    Obs.with_sink ~profile:true (fun () ->
+        Insp.Solve.run_all ~seed:1 inst.Insp.Instance.app
+          inst.Insp.Instance.platform)
+  in
+  (* One discarded warm-up run so one-time initialisation (the clock's
+     domain-local clamp cell, lazy toplevel values) is not attributed to
+     the measured run — the golden records steady-state counts. *)
+  ignore (solve ());
+  let _, r = solve () in
+  Alcotest.(check string)
+    "folded alloc stacks match test/alloc_counts.golden"
+    (read_file "alloc_counts.golden")
+    (Export.prof_folded_alloc r)
+
 let () =
   Alcotest.run "obs"
     [
@@ -438,6 +576,8 @@ let () =
             test_registry_deterministic;
           Alcotest.test_case "histogram bucket edges" `Quick
             test_histogram_bucket_edges;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_percentile_interpolation;
           Alcotest.test_case "rejects bad edges and kind mixes" `Quick
             test_histogram_rejects_bad_edges;
           Alcotest.test_case "merge rejects conflicting registries" `Quick
@@ -452,9 +592,20 @@ let () =
           Alcotest.test_case "Chrome trace escaping round-trip" `Quick
             test_chrome_trace_escaping;
         ] );
+      ( "prof",
+        [
+          Alcotest.test_case "deterministic exports across runs" `Quick
+            test_prof_deterministic;
+          Alcotest.test_case "commit-path ledger attribution" `Quick
+            test_prof_commit_path_attribution;
+          Alcotest.test_case "disabled entry points allocate nothing" `Quick
+            test_prof_disabled_zero_alloc;
+        ] );
       ( "regression",
         [
           Alcotest.test_case "ledger probe count" `Quick
             test_probe_count_regression;
+          Alcotest.test_case "ledger alloc counts" `Quick
+            test_alloc_count_regression;
         ] );
     ]
